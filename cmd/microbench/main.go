@@ -1,0 +1,32 @@
+// Command microbench reproduces Figure 2 of the paper: the Section
+// II-A microbenchmark measuring cycles per iteration of atomic and
+// non-atomic RMW instructions, with and without explicit memory
+// fences, on a modern (unfenced-atomics) and a 2007-class (fenced-
+// atomics) simulated core.
+//
+//	microbench -iters 20000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"rowsim/internal/experiments"
+)
+
+func main() {
+	var (
+		iters = flag.Int("iters", 8000, "iterations per variant")
+		seed  = flag.Uint64("seed", 1, "address-stream seed")
+	)
+	flag.Parse()
+
+	r := experiments.NewRunner(experiments.Options{
+		Cores:  1,
+		Instrs: *iters * 4, // Fig2 derives its iteration count from this
+		Seed:   *seed,
+	})
+	r.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
+	fmt.Println(experiments.Fig2(r))
+}

@@ -1,0 +1,106 @@
+// Command rowsweep sweeps one workload parameter and reports how the
+// eager/lazy/RoW comparison responds — the tool behind the kind of
+// sensitivity studies Section VI performs on the latency threshold,
+// applied to workload characteristics instead.
+//
+//	rowsweep -workload sps -param sharedfrac -values 0.1,0.3,0.5,0.7,0.9
+//	rowsweep -workload pc -param hotlines -values 1,2,4,8,16 -format csv
+//	rowsweep -workload cq -param atomics10k -values 10,25,50,100
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/stats"
+	"rowsim/internal/workload"
+)
+
+// parameter applies one sweep value to the workload parameters.
+var parameters = map[string]func(*workload.Params, float64){
+	"atomics10k":  func(p *workload.Params, v float64) { p.AtomicsPer10K = v },
+	"sharedfrac":  func(p *workload.Params, v float64) { p.SharedFrac = v },
+	"hotlines":    func(p *workload.Params, v float64) { p.HotLines = int(v) },
+	"storebefore": func(p *workload.Params, v float64) { p.StoreBefore = v },
+	"workingset":  func(p *workload.Params, v float64) { p.WorkingSet = int(v) },
+	"depmean":     func(p *workload.Params, v float64) { p.DepMean = v },
+	"addrindep":   func(p *workload.Params, v float64) { p.AddrIndep = v },
+}
+
+func main() {
+	var (
+		name   = flag.String("workload", "sps", "base workload")
+		param  = flag.String("param", "sharedfrac", "parameter to sweep: atomics10k, sharedfrac, hotlines, storebefore, workingset, depmean, addrindep")
+		values = flag.String("values", "0.1,0.5,0.9", "comma-separated sweep values")
+		cores  = flag.Int("cores", 32, "number of cores")
+		instrs = flag.Int("instrs", 8000, "instructions per core")
+		seed   = flag.Uint64("seed", 1, "trace seed")
+		format = flag.String("format", "text", "output format: text, csv")
+	)
+	flag.Parse()
+
+	apply, ok := parameters[*param]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		os.Exit(2)
+	}
+	base, err := workload.Get(*name)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Sweep of %s over %s", *param, base.Name),
+		Headers: []string{*param, "eager-cycles", "lazy/eager", "row(Sat)/eager", "%contended"},
+	}
+	for _, raw := range strings.Split(*values, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", raw, err)
+			os.Exit(2)
+		}
+		p := base
+		apply(&p, v)
+		progs := workload.Generate(p, *cores, *instrs, *seed)
+
+		run := func(policy config.AtomicPolicy) sim.Result {
+			cfg := config.Default()
+			cfg.NumCores = *cores
+			cfg.Policy = policy
+			cfg.RoW.Predictor = config.PredSaturate
+			cfg.EarlyAddrCalc = policy == config.PolicyRoW
+			cfg.MaxCycles = 500_000_000
+			s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			r, err := s.Run()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return r
+		}
+		eager := run(config.PolicyEager)
+		lazy := run(config.PolicyLazy)
+		row := run(config.PolicyRoW)
+		t.AddRow(raw,
+			fmt.Sprint(eager.Cycles),
+			stats.F(float64(lazy.Cycles)/float64(eager.Cycles)),
+			stats.F(float64(row.Cycles)/float64(eager.Cycles)),
+			stats.Pct(eager.ContendedFrac))
+		fmt.Fprintf(os.Stderr, "%s=%s done\n", *param, raw)
+	}
+	if *format == "csv" {
+		fmt.Print(t.CSV())
+	} else {
+		fmt.Println(t)
+	}
+}

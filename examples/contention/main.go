@@ -1,0 +1,79 @@
+// Contention: build a *custom* workload with the public workload
+// parameters — a mix of contended shared-counter atomics and private
+// atomics — and sweep the core count to show how the eager/lazy gap
+// grows with contention, and that RoW tracks the better policy at
+// every point.
+//
+//	go run ./examples/contention
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/stats"
+	"rowsim/internal/trace"
+	"rowsim/internal/workload"
+)
+
+func main() {
+	// A hand-rolled workload: half the atomic sites update two shared
+	// counters (contended), the rest update private data.
+	params := workload.Params{
+		Name:          "custom-counters",
+		Descr:         "shared counters + private bookkeeping",
+		AtomicsPer10K: 80,
+		SharedFrac:    0.5,
+		HotLines:      2,
+		WorkingSet:    1 << 20,
+		SharedData:    256 << 10,
+		SharedAccFrac: 0.05,
+		LoadFrac:      0.3, StoreFrac: 0.12, BranchFrac: 0.1,
+		DepMean: 8, AddrIndep: 0.6, BiasedBranches: 0.95,
+		AtomicOp:      trace.FAA,
+		DefaultInstrs: 6000,
+	}
+
+	table := &stats.Table{
+		Title:   "Execution cycles by policy (custom contended workload)",
+		Headers: []string{"cores", "eager", "lazy", "row", "row-vs-best-static"},
+	}
+	for _, cores := range []int{4, 8, 16, 32} {
+		progs := workload.Generate(params, cores, 0, 7)
+		cycles := map[config.AtomicPolicy]uint64{}
+		for _, policy := range []config.AtomicPolicy{
+			config.PolicyEager, config.PolicyLazy, config.PolicyRoW,
+		} {
+			cfg := config.Default()
+			cfg.NumCores = cores
+			cfg.Policy = policy
+			cfg.EarlyAddrCalc = policy == config.PolicyRoW
+			system, err := sim.New(cfg, progs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := system.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[policy] = res.Cycles
+		}
+		best := cycles[config.PolicyEager]
+		if cycles[config.PolicyLazy] < best {
+			best = cycles[config.PolicyLazy]
+		}
+		table.AddRow(
+			fmt.Sprint(cores),
+			fmt.Sprint(cycles[config.PolicyEager]),
+			fmt.Sprint(cycles[config.PolicyLazy]),
+			fmt.Sprint(cycles[config.PolicyRoW]),
+			stats.F(float64(cycles[config.PolicyRoW])/float64(best)),
+		)
+	}
+	fmt.Println(table)
+	fmt.Println("Whichever static policy wins at a given scale, RoW stays within")
+	fmt.Println("a few percent of it without being told: the per-PC predictor")
+	fmt.Println("routes each atomic site to the policy that suits it.")
+}

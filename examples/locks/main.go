@@ -1,0 +1,70 @@
+// Locks: the paper motivates atomics as the substrate of software
+// synchronization. This example runs three classic algorithms —
+// test-and-set spinlocks, ticket locks and sense-reversing barriers —
+// under all four execution policies and shows how dramatic the
+// when/where decision becomes once the atomic IS the lock.
+//
+//	go run ./examples/locks
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/stats"
+	"rowsim/internal/workload"
+)
+
+func main() {
+	const cores, instrs, seed = 16, 8000, 1
+
+	table := &stats.Table{
+		Title:   "Synchronization kernels — cycles by policy (16 cores)",
+		Headers: []string{"kernel", "eager", "lazy", "row", "far", "best"},
+	}
+	for _, name := range workload.SyncKernels {
+		params := workload.MustGet(name)
+		progs := workload.Generate(params, cores, instrs, seed)
+		cycles := map[config.AtomicPolicy]uint64{}
+		for _, policy := range []config.AtomicPolicy{
+			config.PolicyEager, config.PolicyLazy, config.PolicyRoW, config.PolicyFar,
+		} {
+			cfg := config.Default()
+			cfg.NumCores = cores
+			cfg.Policy = policy
+			cfg.RoW.Predictor = config.PredSaturate
+			cfg.EarlyAddrCalc = policy == config.PolicyRoW
+			system, err := sim.New(cfg, progs)
+			if err != nil {
+				log.Fatal(err)
+			}
+			res, err := system.Run()
+			if err != nil {
+				log.Fatal(err)
+			}
+			cycles[policy] = res.Cycles
+		}
+		best, bestN := "eager", cycles[config.PolicyEager]
+		for _, p := range []struct {
+			n string
+			v config.AtomicPolicy
+		}{{"lazy", config.PolicyLazy}, {"row", config.PolicyRoW}, {"far", config.PolicyFar}} {
+			if cycles[p.v] < bestN {
+				best, bestN = p.n, cycles[p.v]
+			}
+		}
+		table.AddRow(name,
+			fmt.Sprint(cycles[config.PolicyEager]),
+			fmt.Sprint(cycles[config.PolicyLazy]),
+			fmt.Sprint(cycles[config.PolicyRoW]),
+			fmt.Sprint(cycles[config.PolicyFar]),
+			best)
+	}
+	fmt.Println(table)
+	fmt.Println("Eagerly locking a lock word while the winner's ROB drains starves")
+	fmt.Println("every spinner; lazy (and RoW) recover it. Barrier arrivals invert:")
+	fmt.Println("eager wins among near policies, and far — a fetch-and-add at the")
+	fmt.Println("L3 bank — beats everything, since the counter line never migrates.")
+}

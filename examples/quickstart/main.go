@@ -1,0 +1,55 @@
+// Quickstart: simulate one workload on the 32-core system under the
+// three atomic-execution policies the paper compares — eager, lazy,
+// and Rush-or-Wait — and print the headline numbers.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/workload"
+)
+
+func main() {
+	// sps: 32 threads hammering a couple of shared counters with
+	// fetch-and-add — the paper's most contention-sensitive workload.
+	params := workload.MustGet("sps")
+	const cores, instrs, seed = 32, 8000, 1
+	progs := workload.Generate(params, cores, instrs, seed)
+
+	fmt.Printf("workload: %s — %s\n", params.Name, params.Descr)
+	fmt.Printf("%d cores, %d instructions each\n\n", cores, instrs)
+
+	var eagerCycles uint64
+	for _, policy := range []config.AtomicPolicy{
+		config.PolicyEager, config.PolicyLazy, config.PolicyRoW,
+	} {
+		cfg := config.Default()
+		cfg.NumCores = cores
+		cfg.Policy = policy
+		// The plain baselines do not use RoW's early address pass.
+		cfg.EarlyAddrCalc = policy == config.PolicyRoW
+
+		system, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(params)))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := system.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if policy == config.PolicyEager {
+			eagerCycles = res.Cycles
+		}
+		fmt.Printf("%-6s  %9d cycles  (%.3fx vs eager)  IPC %.2f  %4.1f%% of atomics contended\n",
+			policy, res.Cycles, float64(res.Cycles)/float64(eagerCycles), res.IPC, res.ContendedFrac*100)
+	}
+
+	fmt.Println("\nOn a contended workload, lazy execution beats eager by keeping")
+	fmt.Println("cachelines locked only briefly; RoW predicts the contention per")
+	fmt.Println("atomic PC and follows the better policy automatically.")
+}

@@ -1,0 +1,3 @@
+module rowsim
+
+go 1.22

@@ -1,0 +1,79 @@
+package cache
+
+import (
+	"testing"
+
+	"rowsim/internal/coherence"
+)
+
+func TestFarRMWSendsGetFar(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Tick(1)
+	p.FarRMW(9, lineB+8)
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgGetFar || sent[0].Line != lineB {
+		t.Fatalf("expected GetFar for the line, got %v", sent)
+	}
+	if !p.PendingWork() {
+		t.Fatal("outstanding far RMW not reported as pending")
+	}
+}
+
+func TestFarRMWDropsOwnedCopyWithWriteback(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Warm(lineB, StateM)
+	p.Tick(1)
+	p.FarRMW(9, lineB)
+	if p.State(lineB) != StateI {
+		t.Fatal("local copy survived a far RMW")
+	}
+	sent := net.take()
+	if len(sent) != 2 || sent[0].Type != coherence.MsgPutX || sent[1].Type != coherence.MsgGetFar {
+		t.Fatalf("expected PutX then GetFar, got %v", sent)
+	}
+}
+
+func TestFarDoneRespondsFIFO(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.FarRMW(1, lineB)
+	p.Tick(5)
+	p.FarRMW(2, lineB)
+	net.take()
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
+	if _, ok := client.resps[1]; !ok {
+		t.Fatal("first far RMW not answered first")
+	}
+	if _, ok := client.resps[2]; ok {
+		t.Fatal("second far RMW answered early")
+	}
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
+	if _, ok := client.resps[2]; !ok {
+		t.Fatal("second far RMW never answered")
+	}
+	if p.PendingWork() {
+		t.Fatal("completed far RMWs still pending")
+	}
+}
+
+func TestFarDoneLatencyMeasured(t *testing.T) {
+	p, _, client := newCacheUnderTest()
+	p.Tick(10)
+	p.FarRMW(3, lineB)
+	p.Tick(110)
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
+	info := client.resps[3]
+	if info.Latency != 100 {
+		t.Fatalf("far latency = %d, want 100", info.Latency)
+	}
+}
+
+func TestStrayFarDonePanics(t *testing.T) {
+	p, _, _ := newCacheUnderTest()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("stray FarDone accepted silently")
+		}
+	}()
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
+}

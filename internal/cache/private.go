@@ -1,0 +1,714 @@
+// Package cache implements the per-core private cache hierarchy: an
+// L1D backed by an inclusive private L2, with MSHRs, an IP-stride
+// prefetcher and the coherence-protocol endpoint (the "private cache"
+// the directory sees). Cache locking for atomics is implemented here:
+// external requests for a line locked in the core's Atomic Queue are
+// stalled until the atomic unlocks.
+package cache
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rowsim/internal/coherence"
+	"rowsim/internal/config"
+	"rowsim/internal/sram"
+	"rowsim/internal/stats"
+)
+
+// Coherence states stored in the sram line metadata.
+const (
+	StateI uint8 = iota
+	StateS
+	StateE
+	StateM
+)
+
+// RespInfo describes a completed memory access back to the core.
+type RespInfo struct {
+	Line uint64
+	// Latency is cycles from the Access call to the response.
+	Latency uint64
+	// MissLatency is cycles from the coherence request leaving the
+	// core to the fill completing (0 for hits). This is what the
+	// RW+Dir detector compares against its threshold.
+	MissLatency uint64
+	// FromPrivate marks fills served cache-to-cache by a remote
+	// private cache.
+	FromPrivate bool
+	// Hit reports an L1 or L2 hit (no coherence transaction).
+	Hit bool
+}
+
+// Client is the core-side interface the controller calls into.
+type Client interface {
+	// MemResp delivers the completion of an Access with the given tag.
+	MemResp(tag uint64, info RespInfo)
+	// ExternalRequest is invoked when an external coherence request
+	// (Inv or Fwd) arrives for a line. The client returns true to
+	// stall the request because the line is locked by an in-flight
+	// atomic; it also uses this hook for ready-window contention
+	// tracking.
+	ExternalRequest(line uint64, write bool) (stall bool)
+	// LineInvalidated reports that the line left the private cache
+	// (external invalidation, forward, or eviction); the core uses it
+	// to squash speculatively executed loads (TSO).
+	LineInvalidated(line uint64)
+	// LineLocked reports whether the line is locked by the core's AQ;
+	// used to veto evictions.
+	LineLocked(line uint64) bool
+	// ForceRelease asks the core to break an overlong lock stall on
+	// the line (deadlock avoidance); it returns true when the lock was
+	// released (the core squashes and replays that atomic's lock
+	// acquisition).
+	ForceRelease(line uint64) bool
+}
+
+// Tags for internal (non-core) waiters.
+const (
+	// TagPrefetch marks prefetch fills; no response is delivered.
+	TagPrefetch uint64 = 1<<64 - 1
+)
+
+// releaseAfter is the stall age (cycles) after which a locked line is
+// forcibly released to guarantee forward progress. Real hardware
+// bounds cache-locking time similarly; the value is above ordinary
+// lock hold times (even heavily contended holds stay in the hundreds
+// of cycles) so it only breaks genuine cross-core waiting cycles.
+const releaseAfter = 2048
+
+type mshr struct {
+	line        uint64
+	write       bool
+	waiters     []waiter
+	dataArrived bool
+	grant       coherence.GrantState
+	fromPrivate bool
+	pendingAcks int
+	sentAt      uint64
+}
+
+type waiter struct {
+	tag   uint64
+	at    uint64 // Access call cycle
+	write bool
+}
+
+type event struct {
+	at   uint64
+	seq  uint64
+	kind uint8 // evRespond | evMiss
+	tag  uint64
+	line uint64
+	wr   bool
+	lat  uint64 // for evRespond: latency to report
+}
+
+const (
+	evRespond uint8 = iota
+	evMiss
+)
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+type strideEntry struct {
+	pc       uint64
+	lastAddr uint64
+	stride   int64
+	conf     int
+}
+
+type stalledExt struct {
+	msg     *coherence.Msg
+	stallAt uint64
+}
+
+// Stats aggregates controller behaviour.
+type Stats struct {
+	Accesses      stats.Counter
+	L1Hits        stats.Counter
+	L2Hits        stats.Counter
+	Misses        stats.Counter
+	MissLatency   stats.Mean       // fill latency of demand misses (Fig. 11)
+	MissHist      *stats.Histogram // distribution of the same
+	Prefetches    stats.Counter
+	Writebacks    stats.Counter
+	MSHRFull      stats.Counter // demand misses delayed by full fill buffers
+	ExtStalls     stats.Counter // external requests stalled on a locked line
+	ForcedRel     stats.Counter // locks broken by the progress guarantee
+	Invalidations stats.Counter
+	Forwarded     stats.Counter // fills served to other cores cache-to-cache
+}
+
+// Private is one core's private cache hierarchy and protocol endpoint.
+type Private struct {
+	coreID int
+	net    coherence.Network
+	client Client
+	bankOf func(line uint64) int
+
+	l1 *sram.Array
+	l2 *sram.Array
+
+	lineMask uint64
+
+	l1Hit int
+	l2Hit int
+
+	mshrs      map[uint64]*mshr
+	mshrLimit  int
+	stalled    map[uint64]*stalledExt
+	pendingFar map[uint64][]waiter // outstanding far RMWs by line, FIFO
+
+	events eventHeap
+	seq    uint64
+	now    uint64
+
+	strides   []strideEntry
+	pfDegree  int
+	pfConfMin int
+
+	Stats Stats
+}
+
+// NewPrivate builds the hierarchy from the memory configuration.
+func NewPrivate(coreID int, cfg *config.Config, net coherence.Network, client Client, bankOf func(uint64) int) *Private {
+	m := cfg.Mem
+	p := &Private{
+		coreID:     coreID,
+		net:        net,
+		client:     client,
+		bankOf:     bankOf,
+		l1:         sram.New(m.L1D.SizeBytes, m.L1D.Ways, m.LineBytes),
+		l2:         sram.New(m.L2.SizeBytes, m.L2.Ways, m.LineBytes),
+		lineMask:   ^uint64(m.LineBytes - 1),
+		l1Hit:      m.L1D.HitCycles,
+		l2Hit:      m.L2.HitCycles,
+		mshrs:      make(map[uint64]*mshr),
+		mshrLimit:  m.MSHRs,
+		stalled:    make(map[uint64]*stalledExt),
+		pendingFar: make(map[uint64][]waiter),
+		strides:    make([]strideEntry, 64),
+		pfDegree:   m.PrefetcherDegree,
+		pfConfMin:  m.PrefetcherDistance,
+	}
+	p.Stats.MissHist = stats.NewHistogram(1 << 16)
+	return p
+}
+
+// Line masks an address to its cacheline address.
+func (p *Private) Line(addr uint64) uint64 { return addr & p.lineMask }
+
+// State returns the coherence state the private hierarchy holds for
+// the line (L1 takes precedence; both are kept consistent).
+func (p *Private) State(line uint64) uint8 {
+	if l := p.l1.Peek(line); l != nil {
+		return l.Meta
+	}
+	if l := p.l2.Peek(line); l != nil {
+		return l.Meta
+	}
+	return StateI
+}
+
+func (p *Private) setState(line uint64, st uint8) {
+	if l := p.l1.Peek(line); l != nil {
+		l.Meta = st
+	}
+	if l := p.l2.Peek(line); l != nil {
+		l.Meta = st
+	}
+}
+
+func (p *Private) push(e event) {
+	p.seq++
+	e.seq = p.seq
+	heap.Push(&p.events, e)
+}
+
+// Access requests the line for the core. write asks for exclusive
+// permission. The response arrives via Client.MemResp(tag) unless tag
+// is TagPrefetch. The call itself is instantaneous; lookup latency is
+// modeled inside the controller.
+func (p *Private) Access(tag uint64, addr uint64, write bool) {
+	line := p.Line(addr)
+	p.Stats.Accesses.Inc()
+	if l := p.l1.Lookup(line, true); l != nil && p.permOK(l.Meta, write) {
+		if write {
+			l.Meta = StateM
+			if l2 := p.l2.Peek(line); l2 != nil {
+				l2.Meta = StateM
+			}
+		}
+		p.Stats.L1Hits.Inc()
+		if tag != TagPrefetch {
+			p.push(event{at: p.now + uint64(p.l1Hit), kind: evRespond, tag: tag, line: line, lat: uint64(p.l1Hit)})
+		}
+		return
+	}
+	if l := p.l2.Lookup(line, true); l != nil && p.permOK(l.Meta, write) {
+		// Fill L1 from L2.
+		st := l.Meta
+		if write {
+			st = StateM
+			l.Meta = StateM
+		}
+		p.installL1(line, st)
+		p.Stats.L2Hits.Inc()
+		if tag != TagPrefetch {
+			p.push(event{at: p.now + uint64(p.l2Hit), kind: evRespond, tag: tag, line: line, lat: uint64(p.l2Hit)})
+		}
+		return
+	}
+	// Miss (or upgrade): goes through the MSHR after the lookup time.
+	p.push(event{at: p.now + uint64(p.l2Hit), kind: evMiss, tag: tag, line: line, wr: write, lat: uint64(p.l2Hit)})
+}
+
+func (p *Private) permOK(state uint8, write bool) bool {
+	if state == StateI {
+		return false
+	}
+	if write {
+		return state == StateM || state == StateE
+	}
+	return true
+}
+
+// startMiss allocates or merges into an MSHR once the lookup pipeline
+// determined the access misses.
+func (p *Private) startMiss(tag uint64, line uint64, write bool, at uint64) {
+	// The line may have arrived while the lookup was in flight.
+	if st := p.State(line); p.permOK(st, write) {
+		if write {
+			p.setState(line, StateM)
+		}
+		if tag != TagPrefetch {
+			p.client.MemResp(tag, RespInfo{Line: line, Latency: p.now - at, Hit: true})
+		}
+		return
+	}
+	if m, ok := p.mshrs[line]; ok {
+		// Secondary miss: merge. A write waiter merged onto an
+		// in-flight GetS is re-issued as an upgrade when the read
+		// fill completes (see maybeComplete).
+		if tag != TagPrefetch {
+			m.waiters = append(m.waiters, waiter{tag: tag, at: at, write: write})
+		}
+		return
+	}
+	if p.mshrLimit > 0 && len(p.mshrs) >= p.mshrLimit {
+		// All fill buffers busy: prefetches drop, demand misses retry.
+		if tag == TagPrefetch {
+			return
+		}
+		p.Stats.MSHRFull.Inc()
+		// Preserve the original access time for latency accounting.
+		p.push(event{at: p.now + 4, kind: evMiss, tag: tag, line: line, wr: write, lat: p.now + 4 - at})
+		return
+	}
+	m := &mshr{line: line, write: write, sentAt: p.now}
+	if tag != TagPrefetch {
+		m.waiters = append(m.waiters, waiter{tag: tag, at: at, write: write})
+	}
+	p.mshrs[line] = m
+	p.Stats.Misses.Inc()
+	t := coherence.MsgGetS
+	if write {
+		t = coherence.MsgGetX
+	}
+	p.net.Send(&coherence.Msg{
+		Type: t, Line: line, Src: p.coreID, Dst: p.bankOf(line), Requestor: p.coreID,
+	})
+}
+
+// PendingWrite reports whether an exclusive request for the line is
+// already in flight (e.g. a store's exclusive prefetch).
+func (p *Private) PendingWrite(line uint64) bool {
+	m, ok := p.mshrs[line]
+	return ok && m.write
+}
+
+// StoreComplete performs a store-buffer drain write when the line is
+// held with write permission; it returns false when a GetX is needed
+// first (the caller then issues an Access with write=true).
+func (p *Private) StoreComplete(line uint64) bool {
+	if l := p.l1.Lookup(line, true); l != nil && (l.Meta == StateM || l.Meta == StateE) {
+		l.Meta = StateM
+		if l2 := p.l2.Peek(line); l2 != nil {
+			l2.Meta = StateM
+		}
+		return true
+	}
+	if l2 := p.l2.Lookup(line, true); l2 != nil && (l2.Meta == StateM || l2.Meta == StateE) {
+		l2.Meta = StateM
+		p.installL1(line, StateM)
+		return true
+	}
+	return false
+}
+
+// FarRMW sends the atomic to the line's home L3 bank to be performed
+// there (far atomics). The response arrives via Client.MemResp. Any
+// local copy is dropped first: the bank's recall would invalidate it
+// anyway, and the RMW result never migrates back.
+func (p *Private) FarRMW(tag uint64, addr uint64) {
+	line := p.Line(addr)
+	p.Stats.Accesses.Inc()
+	p.l1.Invalidate(line)
+	if _, present := p.l2.Invalidate(line); present {
+		// Relinquish ownership silently; the directory treats the
+		// subsequent recall-miss as a stale forward.
+		p.net.Send(&coherence.Msg{
+			Type: coherence.MsgPutX, Line: line, Src: p.coreID, Dst: p.bankOf(line),
+			Requestor: p.coreID,
+		})
+	}
+	p.pendingFar[line] = append(p.pendingFar[line], waiter{tag: tag, at: p.now})
+	p.net.Send(&coherence.Msg{
+		Type: coherence.MsgGetFar, Line: line, Src: p.coreID, Dst: p.bankOf(line),
+		Requestor: p.coreID,
+	})
+}
+
+// TrainPrefetch feeds the IP-stride prefetcher with a demand load.
+func (p *Private) TrainPrefetch(pc, addr uint64) {
+	if p.pfDegree <= 0 {
+		return
+	}
+	e := &p.strides[(pc>>2)&63]
+	if e.pc != pc {
+		*e = strideEntry{pc: pc, lastAddr: addr}
+		return
+	}
+	stride := int64(addr) - int64(e.lastAddr)
+	e.lastAddr = addr
+	if stride == 0 {
+		return
+	}
+	if stride == e.stride {
+		if e.conf < 8 {
+			e.conf++
+		}
+	} else {
+		e.stride = stride
+		e.conf = 0
+		return
+	}
+	if e.conf < p.pfConfMin {
+		return
+	}
+	for d := 1; d <= p.pfDegree; d++ {
+		target := uint64(int64(addr) + e.stride*int64(d))
+		line := p.Line(target)
+		if line == p.Line(addr) || p.State(line) != StateI {
+			continue
+		}
+		if _, busy := p.mshrs[line]; busy {
+			continue
+		}
+		p.Stats.Prefetches.Inc()
+		p.Access(TagPrefetch, target, false)
+	}
+}
+
+// Deliver processes protocol messages drained from the network.
+func (p *Private) Deliver(msgs []*coherence.Msg) {
+	for _, m := range msgs {
+		p.handle(m)
+	}
+}
+
+func (p *Private) handle(m *coherence.Msg) {
+	switch m.Type {
+	case coherence.MsgData:
+		p.handleData(m)
+	case coherence.MsgInvAck:
+		if ms, ok := p.mshrs[m.Line]; ok {
+			ms.pendingAcks--
+			p.maybeComplete(m.Line, ms)
+		}
+	case coherence.MsgInv:
+		p.handleExternal(m, true)
+	case coherence.MsgFwdGetX:
+		p.handleExternal(m, true)
+	case coherence.MsgFwdGetS:
+		p.handleExternal(m, false)
+	case coherence.MsgFarDone:
+		ws := p.pendingFar[m.Line]
+		if len(ws) == 0 {
+			panic(fmt.Sprintf("cache %d: FarDone without a pending far RMW %s", p.coreID, m))
+		}
+		w := ws[0]
+		if len(ws) == 1 {
+			delete(p.pendingFar, m.Line)
+		} else {
+			p.pendingFar[m.Line] = ws[1:]
+		}
+		p.client.MemResp(w.tag, RespInfo{Line: m.Line, Latency: p.now - w.at})
+	default:
+		panic(fmt.Sprintf("cache %d: unexpected message %s", p.coreID, m))
+	}
+}
+
+func (p *Private) handleData(m *coherence.Msg) {
+	ms, ok := p.mshrs[m.Line]
+	if !ok {
+		// Response for a line whose MSHR disappeared cannot happen:
+		// MSHRs only retire on completion.
+		panic(fmt.Sprintf("cache %d: data without MSHR %s", p.coreID, m))
+	}
+	ms.dataArrived = true
+	ms.grant = m.Grant
+	ms.fromPrivate = m.FromPrivate
+	ms.pendingAcks += m.AckCount
+	p.maybeComplete(m.Line, ms)
+}
+
+func (p *Private) maybeComplete(line uint64, ms *mshr) {
+	if !ms.dataArrived || ms.pendingAcks != 0 {
+		return
+	}
+	delete(p.mshrs, line)
+
+	st := StateS
+	switch ms.grant {
+	case coherence.GrantE:
+		st = StateE
+	case coherence.GrantM:
+		st = StateM
+	}
+	if ms.write {
+		st = StateM
+	}
+	p.install(line, st)
+
+	// Close the transaction at the directory.
+	ut := coherence.MsgUnblock
+	grant := ms.grant
+	if ms.grant == coherence.GrantM || ms.write {
+		ut = coherence.MsgUnblockX
+	}
+	p.net.Send(&coherence.Msg{
+		Type: ut, Line: line, Src: p.coreID, Dst: p.bankOf(line),
+		Requestor: p.coreID, Grant: grant,
+	})
+
+	fillLat := p.now - ms.sentAt
+	if len(ms.waiters) > 0 {
+		p.Stats.MissLatency.Observe(float64(fillLat))
+		p.Stats.MissHist.Observe(float64(fillLat))
+	}
+
+	var reissue []waiter
+	for _, w := range ms.waiters {
+		if w.write && st != StateM && st != StateE {
+			// GrantS cannot satisfy writers: upgrade.
+			reissue = append(reissue, w)
+			continue
+		}
+		if w.write {
+			p.setState(line, StateM)
+		}
+		p.client.MemResp(w.tag, RespInfo{
+			Line:        line,
+			Latency:     p.now - w.at,
+			MissLatency: fillLat,
+			FromPrivate: ms.fromPrivate,
+		})
+	}
+	for _, w := range reissue {
+		p.startMiss(w.tag, line, true, w.at)
+	}
+}
+
+// handleExternal processes Inv/FwdGetS/FwdGetX, stalling when the
+// line is locked by the core's atomic queue.
+func (p *Private) handleExternal(m *coherence.Msg, write bool) {
+	if stall := p.client.ExternalRequest(m.Line, write); stall {
+		p.Stats.ExtStalls.Inc()
+		if prev, ok := p.stalled[m.Line]; ok {
+			// The directory serializes transactions per line, so at
+			// most one external request can be outstanding.
+			panic(fmt.Sprintf("cache %d: second stalled external %s (have %s)", p.coreID, m, prev.msg))
+		}
+		p.stalled[m.Line] = &stalledExt{msg: m, stallAt: p.now}
+		return
+	}
+	p.serveExternal(m)
+}
+
+func (p *Private) serveExternal(m *coherence.Msg) {
+	line := m.Line
+	switch m.Type {
+	case coherence.MsgInv:
+		p.Stats.Invalidations.Inc()
+		p.l1.Invalidate(line)
+		p.l2.Invalidate(line)
+		p.client.LineInvalidated(line)
+		p.net.SendAfter(&coherence.Msg{
+			Type: coherence.MsgInvAck, Line: line, Src: p.coreID, Dst: m.Requestor,
+			Requestor: m.Requestor,
+		}, uint64(p.l1Hit))
+	case coherence.MsgFwdGetX:
+		p.Stats.Forwarded.Inc()
+		p.l1.Invalidate(line)
+		p.l2.Invalidate(line)
+		p.client.LineInvalidated(line)
+		p.net.SendAfter(&coherence.Msg{
+			Type: coherence.MsgData, Line: line, Src: p.coreID, Dst: m.Requestor,
+			Requestor: m.Requestor, Grant: coherence.GrantM, FromPrivate: true,
+		}, uint64(p.l1Hit))
+	case coherence.MsgFwdGetS:
+		p.Stats.Forwarded.Inc()
+		p.setState(line, StateS)
+		p.net.SendAfter(&coherence.Msg{
+			Type: coherence.MsgData, Line: line, Src: p.coreID, Dst: m.Requestor,
+			Requestor: m.Requestor, Grant: coherence.GrantS, FromPrivate: true,
+		}, uint64(p.l1Hit))
+	default:
+		panic(fmt.Sprintf("cache %d: cannot serve external %s", p.coreID, m))
+	}
+}
+
+// LockReleased must be called by the core when an atomic unlocks a
+// line; any stalled external request for it is then served.
+func (p *Private) LockReleased(line uint64) {
+	if s, ok := p.stalled[line]; ok {
+		delete(p.stalled, line)
+		p.serveExternal(s.msg)
+	}
+}
+
+// install places a fill into both levels (L2 inclusive of L1),
+// handling evictions and writebacks. Locked lines are never evicted.
+func (p *Private) install(line uint64, st uint8) {
+	p.installL2(line, st)
+	p.installL1(line, st)
+}
+
+func (p *Private) installL1(line uint64, st uint8) {
+	_, _, _, ok := p.l1.InsertVeto(line, st, p.client.LineLocked)
+	_ = ok // if every way is locked the fill stays L2-only
+}
+
+func (p *Private) installL2(line uint64, st uint8) {
+	evTag, evMeta, evicted, ok := p.l2.InsertVeto(line, st, p.client.LineLocked)
+	if !ok {
+		return // uncacheable fill: extraordinarily rare
+	}
+	if !evicted {
+		return
+	}
+	// Inclusive: the L1 copy must go too.
+	p.l1.Invalidate(evTag)
+	if evMeta == StateM || evMeta == StateE {
+		// Writing the line back surrenders snoop coverage, so
+		// speculative loads of it must be squashed (the directory
+		// stops forwarding invalidations once ownership is released).
+		// Silent S evictions keep coverage: the directory still lists
+		// this core as a sharer and will send the invalidation.
+		p.client.LineInvalidated(evTag)
+		p.Stats.Writebacks.Inc()
+		p.net.Send(&coherence.Msg{
+			Type: coherence.MsgPutX, Line: evTag, Src: p.coreID, Dst: p.bankOf(evTag),
+			Requestor: p.coreID,
+		})
+	}
+}
+
+// Warm pre-installs a line in the L2 (warm start). The directory must
+// be warmed to a matching state by the caller.
+func (p *Private) Warm(line uint64, state uint8) {
+	p.l2.Insert(line, state)
+}
+
+// Tick advances internal pipelines: lookup completions and the
+// forced-release progress guarantee.
+func (p *Private) Tick(cycle uint64) {
+	p.now = cycle
+	for len(p.events) > 0 && p.events[0].at <= cycle {
+		e := heap.Pop(&p.events).(event)
+		switch e.kind {
+		case evRespond:
+			p.client.MemResp(e.tag, RespInfo{Line: e.line, Latency: e.lat, Hit: true})
+		case evMiss:
+			p.startMiss(e.tag, e.line, e.wr, e.at-e.lat)
+		}
+	}
+	if len(p.stalled) > 0 {
+		for line, s := range p.stalled {
+			if cycle-s.stallAt <= releaseAfter {
+				continue
+			}
+			if p.client.ForceRelease(line) {
+				p.Stats.ForcedRel.Inc()
+				delete(p.stalled, line)
+				p.serveExternal(s.msg)
+			} else {
+				s.stallAt = cycle // imminent unlock: re-arm
+			}
+		}
+	}
+}
+
+// PendingWork reports in-flight misses, queued events or stalled
+// external requests (quiescence check).
+func (p *Private) PendingWork() bool {
+	return len(p.mshrs) > 0 || len(p.events) > 0 || len(p.stalled) > 0 || len(p.pendingFar) > 0
+}
+
+// HasStalledExternal reports whether an external request is stalled on
+// this line (used by tests).
+func (p *Private) HasStalledExternal(line uint64) bool {
+	_, ok := p.stalled[line]
+	return ok
+}
+
+// DebugMSHRs describes every outstanding miss (deadlock diagnostics).
+func (p *Private) DebugMSHRs() []string {
+	var out []string
+	for line, m := range p.mshrs {
+		out = append(out, fmt.Sprintf(
+			"cache%d mshr line=%#x write=%v dataArrived=%v grant=%d acks=%d waiters=%d sentAt=%d",
+			p.coreID, line, m.write, m.dataArrived, m.grant, m.pendingAcks, len(m.waiters), m.sentAt))
+	}
+	for line := range p.stalled {
+		out = append(out, fmt.Sprintf("cache%d stalledExt line=%#x", p.coreID, line))
+	}
+	for line, ws := range p.pendingFar {
+		out = append(out, fmt.Sprintf("cache%d pendingFar line=%#x n=%d", p.coreID, line, len(ws)))
+	}
+	return out
+}
+
+// ForEachLine reports every line the private hierarchy holds with its
+// effective coherence state (invariant checking).
+func (p *Private) ForEachLine(fn func(line uint64, state uint8)) {
+	seen := make(map[uint64]bool)
+	p.l1.ForEach(func(tag uint64, meta uint8) {
+		seen[tag] = true
+		fn(tag, meta)
+	})
+	p.l2.ForEach(func(tag uint64, meta uint8) {
+		if !seen[tag] {
+			fn(tag, meta)
+		}
+	})
+}

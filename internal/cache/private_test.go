@@ -1,0 +1,432 @@
+package cache
+
+import (
+	"testing"
+
+	"rowsim/internal/coherence"
+	"rowsim/internal/config"
+)
+
+// fakeNet records messages; tests play the directory side by hand.
+type fakeNet struct {
+	sent  []*coherence.Msg
+	extra []uint64
+}
+
+func (f *fakeNet) Send(m *coherence.Msg) { f.SendAfter(m, 0) }
+func (f *fakeNet) SendAfter(m *coherence.Msg, extra uint64) {
+	f.sent = append(f.sent, m)
+	f.extra = append(f.extra, extra)
+}
+func (f *fakeNet) take() []*coherence.Msg {
+	s := f.sent
+	f.sent = nil
+	f.extra = nil
+	return s
+}
+
+// fakeClient records controller callbacks and provides lock state.
+type fakeClient struct {
+	resps       map[uint64]RespInfo
+	locked      map[uint64]bool
+	invalidated []uint64
+	stallNext   bool
+	released    map[uint64]bool
+}
+
+func newFakeClient() *fakeClient {
+	return &fakeClient{
+		resps:    make(map[uint64]RespInfo),
+		locked:   make(map[uint64]bool),
+		released: make(map[uint64]bool),
+	}
+}
+
+func (c *fakeClient) MemResp(tag uint64, info RespInfo) { c.resps[tag] = info }
+func (c *fakeClient) ExternalRequest(line uint64, write bool) bool {
+	return c.stallNext || c.locked[line]
+}
+func (c *fakeClient) LineInvalidated(line uint64) { c.invalidated = append(c.invalidated, line) }
+func (c *fakeClient) LineLocked(line uint64) bool { return c.locked[line] }
+func (c *fakeClient) ForceRelease(line uint64) bool {
+	if c.locked[line] {
+		delete(c.locked, line)
+		c.released[line] = true
+		return true
+	}
+	return false
+}
+
+func newCacheUnderTest() (*Private, *fakeNet, *fakeClient) {
+	net := &fakeNet{}
+	client := newFakeClient()
+	cfg := config.Default()
+	p := NewPrivate(0, cfg, net, client, func(line uint64) int { return 32 })
+	return p, net, client
+}
+
+func tick(p *Private, from, to uint64) {
+	for c := from; c <= to; c++ {
+		p.Tick(c)
+	}
+}
+
+const lineB = uint64(0x4000)
+
+func TestMissSendsGetS(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(77, lineB, false)
+	tick(p, 2, 20) // past the L2 lookup time
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgGetS || sent[0].Line != lineB || sent[0].Dst != 32 {
+		t.Fatalf("expected one GetS, got %v", sent)
+	}
+}
+
+func TestWriteMissSendsGetX(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(77, lineB, true)
+	tick(p, 2, 20)
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgGetX {
+		t.Fatalf("expected one GetX, got %v", sent)
+	}
+}
+
+func TestFillRespondsAndUnblocks(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(77, lineB, false)
+	tick(p, 2, 20)
+	net.take()
+	p.Deliver([]*coherence.Msg{{
+		Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0, Requestor: 0,
+		Grant: coherence.GrantE,
+	}})
+	p.Tick(21)
+	info, ok := client.resps[77]
+	if !ok {
+		t.Fatal("no response delivered")
+	}
+	if info.Hit {
+		t.Fatal("a coherence fill must not report Hit")
+	}
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgUnblock || sent[0].Grant != coherence.GrantE {
+		t.Fatalf("expected Unblock(GrantE), got %v", sent)
+	}
+	if p.State(lineB) != StateE {
+		t.Fatalf("state = %d, want E", p.State(lineB))
+	}
+}
+
+func TestHitAfterFill(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(77, lineB, false)
+	tick(p, 2, 20)
+	net.take()
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0, Grant: coherence.GrantE}})
+	tick(p, 21, 22)
+	net.take() // drop the Unblock that closed the fill
+	p.Access(78, lineB, false)
+	tick(p, 23, 40)
+	info, ok := client.resps[78]
+	if !ok || !info.Hit {
+		t.Fatalf("expected an L1 hit, got %+v (ok=%v)", info, ok)
+	}
+	if info.Latency != 5 {
+		t.Fatalf("L1 hit latency = %d, want 5", info.Latency)
+	}
+	if len(net.take()) != 0 {
+		t.Fatal("hit must not generate traffic")
+	}
+}
+
+func TestSilentEToMUpgrade(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Warm(lineB, StateE)
+	p.Tick(1)
+	p.Access(9, lineB, true)
+	tick(p, 2, 30)
+	if _, ok := client.resps[9]; !ok {
+		t.Fatal("write to E line did not respond")
+	}
+	if p.State(lineB) != StateM {
+		t.Fatalf("state = %d, want M after silent upgrade", p.State(lineB))
+	}
+	if len(net.take()) != 0 {
+		t.Fatal("silent upgrade must not generate traffic")
+	}
+}
+
+func TestUpgradeFromSharedSendsGetX(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Warm(lineB, StateS)
+	p.Tick(1)
+	p.Access(9, lineB, true)
+	tick(p, 2, 20)
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgGetX {
+		t.Fatalf("expected an upgrade GetX, got %v", sent)
+	}
+}
+
+func TestMSHRMergesSecondaryMisses(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(1, lineB, false)
+	p.Access(2, lineB+8, false) // same line, different offset
+	tick(p, 2, 20)
+	if sent := net.take(); len(sent) != 1 {
+		t.Fatalf("secondary miss not merged: %d requests", len(sent))
+	}
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0, Grant: coherence.GrantS}})
+	p.Tick(21)
+	if len(client.resps) != 2 {
+		t.Fatalf("merged waiters responded %d, want 2", len(client.resps))
+	}
+}
+
+func TestInvAcksCollectedBeforeCompleting(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(1, lineB, true)
+	tick(p, 2, 20)
+	net.take()
+	p.Deliver([]*coherence.Msg{{
+		Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0,
+		Grant: coherence.GrantM, AckCount: 2,
+	}})
+	p.Tick(21)
+	if len(client.resps) != 0 {
+		t.Fatal("completed before collecting invalidation acks")
+	}
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgInvAck, Line: lineB, Src: 1, Dst: 0}})
+	p.Tick(22)
+	if len(client.resps) != 0 {
+		t.Fatal("completed with one ack outstanding")
+	}
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgInvAck, Line: lineB, Src: 2, Dst: 0}})
+	p.Tick(23)
+	if len(client.resps) != 1 {
+		t.Fatal("did not complete after the final ack")
+	}
+}
+
+func TestInvAckBeforeDataHandled(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(1, lineB, true)
+	tick(p, 2, 20)
+	net.take()
+	// The ack can outrun the data response.
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgInvAck, Line: lineB, Src: 1, Dst: 0}})
+	p.Tick(21)
+	p.Deliver([]*coherence.Msg{{
+		Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0,
+		Grant: coherence.GrantM, AckCount: 1,
+	}})
+	p.Tick(22)
+	if len(client.resps) != 1 {
+		t.Fatal("early InvAck was lost")
+	}
+}
+
+func TestExternalInvInvalidatesAndAcks(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Warm(lineB, StateS)
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgInv, Line: lineB, Src: 32, Dst: 0, Requestor: 7}})
+	if p.State(lineB) != StateI {
+		t.Fatal("Inv did not invalidate")
+	}
+	if len(client.invalidated) != 1 || client.invalidated[0] != lineB {
+		t.Fatal("LQ squash hook not called")
+	}
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgInvAck || sent[0].Dst != 7 {
+		t.Fatalf("expected InvAck to requestor 7, got %v", sent)
+	}
+}
+
+func TestFwdGetXTransfersOwnership(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Warm(lineB, StateM)
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFwdGetX, Line: lineB, Src: 32, Dst: 0, Requestor: 5}})
+	if p.State(lineB) != StateI {
+		t.Fatal("owner kept the line after FwdGetX")
+	}
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgData || sent[0].Dst != 5 || !sent[0].FromPrivate {
+		t.Fatalf("expected cache-to-cache Data, got %v", sent)
+	}
+}
+
+func TestFwdGetSDowngrades(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Warm(lineB, StateM)
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFwdGetS, Line: lineB, Src: 32, Dst: 0, Requestor: 5}})
+	if p.State(lineB) != StateS {
+		t.Fatalf("state = %d, want S after FwdGetS", p.State(lineB))
+	}
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Grant != coherence.GrantS || !sent[0].FromPrivate {
+		t.Fatalf("bad forward response %v", sent)
+	}
+}
+
+func TestLockedLineStallsExternalUntilRelease(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Warm(lineB, StateM)
+	client.locked[lineB] = true
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFwdGetX, Line: lineB, Src: 32, Dst: 0, Requestor: 5}})
+	if len(net.take()) != 0 {
+		t.Fatal("locked line answered an external request")
+	}
+	if !p.HasStalledExternal(lineB) {
+		t.Fatal("request not recorded as stalled")
+	}
+	if p.State(lineB) != StateM {
+		t.Fatal("locked line was invalidated")
+	}
+	// Unlock: the stalled request is served.
+	client.locked[lineB] = false
+	p.LockReleased(lineB)
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgData || sent[0].Dst != 5 {
+		t.Fatalf("stalled request not served on release, got %v", sent)
+	}
+	if p.State(lineB) != StateI {
+		t.Fatal("line kept after serving the stalled FwdGetX")
+	}
+}
+
+func TestForcedReleaseAfterLongStall(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Warm(lineB, StateM)
+	client.locked[lineB] = true
+	p.Tick(1)
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFwdGetX, Line: lineB, Src: 32, Dst: 0, Requestor: 5}})
+	p.Tick(releaseAfter) // not yet over the threshold
+	if client.released[lineB] {
+		t.Fatal("released before the deadline")
+	}
+	p.Tick(releaseAfter + 2)
+	if !client.released[lineB] {
+		t.Fatal("progress guarantee never fired")
+	}
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgData || sent[0].Dst != 5 {
+		t.Fatalf("stalled request not served after forced release: %v", sent)
+	}
+	if p.Stats.ForcedRel.Value() != 1 {
+		t.Fatalf("forced releases = %d, want 1", p.Stats.ForcedRel.Value())
+	}
+}
+
+func TestStoreComplete(t *testing.T) {
+	p, _, _ := newCacheUnderTest()
+	if p.StoreComplete(lineB) {
+		t.Fatal("store completed without the line")
+	}
+	p.Warm(lineB, StateE)
+	if !p.StoreComplete(lineB) {
+		t.Fatal("store to E line failed")
+	}
+	if p.State(lineB) != StateM {
+		t.Fatal("store did not dirty the line")
+	}
+	p.Warm(lineB+64, StateS)
+	if p.StoreComplete(lineB + 64) {
+		t.Fatal("store to S line must need a GetX")
+	}
+}
+
+func TestPrefetcherIssuesOnSteadyStride(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Tick(1)
+	pc := uint64(0x400100)
+	// Train: three accesses with stride 64 (beyond the confirm count).
+	for i := uint64(0); i < 4; i++ {
+		p.TrainPrefetch(pc, 0x80000+i*64)
+	}
+	tick(p, 2, 40)
+	// At least one prefetch request must have gone out beyond the
+	// demand stream.
+	if p.Stats.Prefetches.Value() == 0 {
+		t.Fatal("no prefetches after a steady stride")
+	}
+	reqs := net.take()
+	if len(reqs) == 0 {
+		t.Fatal("prefetch produced no traffic")
+	}
+}
+
+func TestPrefetcherIgnoresRandomPattern(t *testing.T) {
+	p, _, _ := newCacheUnderTest()
+	p.Tick(1)
+	pc := uint64(0x400200)
+	addrs := []uint64{0x1000, 0x9000, 0x3000, 0xF000, 0x2000}
+	for _, a := range addrs {
+		p.TrainPrefetch(pc, a)
+	}
+	if p.Stats.Prefetches.Value() != 0 {
+		t.Fatalf("prefetched %d times on a random pattern", p.Stats.Prefetches.Value())
+	}
+}
+
+func TestEvictionWritesBack(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	// Fill one L2 set to capacity with warm M lines, then a demand
+	// fill into the same set must evict one of them with a PutX.
+	// L2: 1 MiB, 8 ways, 64B lines -> 2048 sets; set stride 2048*64.
+	setStride := uint64(2048 * 64)
+	for i := uint64(1); i <= 8; i++ {
+		p.Warm(lineB+i*setStride, StateM)
+	}
+	p.Tick(1)
+	p.Access(1, lineB, true)
+	tick(p, 2, 20)
+	net.take()
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0, Grant: coherence.GrantM}})
+	p.Tick(21)
+	var putx int
+	for _, m := range net.take() {
+		if m.Type == coherence.MsgPutX {
+			putx++
+		}
+	}
+	if putx != 1 {
+		t.Fatalf("%d writebacks, want 1", putx)
+	}
+	if len(client.invalidated) != 1 {
+		t.Fatalf("M eviction must trigger the squash hook once, got %d", len(client.invalidated))
+	}
+}
+
+func TestPendingWrite(t *testing.T) {
+	p, _, _ := newCacheUnderTest()
+	p.Tick(1)
+	if p.PendingWrite(lineB) {
+		t.Fatal("no request outstanding yet")
+	}
+	p.Access(1, lineB, true)
+	tick(p, 2, 20)
+	if !p.PendingWrite(lineB) {
+		t.Fatal("outstanding GetX not reported")
+	}
+	p.Access(2, lineB+64, false)
+	tick(p, 21, 40)
+	if p.PendingWrite(lineB + 64) {
+		t.Fatal("read request reported as pending write")
+	}
+}
+
+func TestLine(t *testing.T) {
+	p, _, _ := newCacheUnderTest()
+	if p.Line(0x12345) != 0x12340 {
+		t.Fatalf("Line(0x12345) = %#x", p.Line(0x12345))
+	}
+}

@@ -1,0 +1,427 @@
+package coherence
+
+import (
+	"fmt"
+
+	"rowsim/internal/sram"
+	"rowsim/internal/stats"
+)
+
+// dirState is the stable directory state of a line.
+type dirState uint8
+
+const (
+	dirI dirState = iota // not cached privately
+	dirS                 // one or more read-only sharers
+	dirM                 // exactly one owner, possibly dirty
+)
+
+// pending records the transaction context the directory is blocked on.
+type pending struct {
+	requestor int
+	isWrite   bool
+
+	// Far-RMW recall context: the original GetFar and the number of
+	// invalidation acks / the data return still expected before the
+	// bank can perform the operation.
+	far     *Msg
+	farAcks int
+	farData bool // waiting for the owner's data return
+}
+
+// dirEntry is the directory's view of one line.
+type dirEntry struct {
+	state   dirState
+	owner   int
+	sharers uint64 // bitmask over cores (NumCores <= 64)
+
+	blocked bool
+	pend    pending
+	waiting []*Msg // requests stalled while blocked, FIFO
+}
+
+// DirStats aggregates directory behaviour for the experiment tables.
+type DirStats struct {
+	GetS        stats.Counter
+	GetX        stats.Counter
+	PutX        stats.Counter
+	Forwards    stats.Counter // requests answered cache-to-cache
+	Stalled     stats.Counter // requests queued behind a blocked line
+	FarOps      stats.Counter // RMWs performed at the bank (far atomics)
+	L3Hits      stats.Counter
+	L3Misses    stats.Counter
+	Invalidates stats.Counter
+	StallDepth  stats.Mean // queue length observed by each stalled request
+}
+
+// Directory is one L3 bank with its slice of the directory. Lines are
+// address-interleaved across banks by the system.
+type Directory struct {
+	nodeID int
+	bank   int
+
+	net Network
+	l3  *sram.Array
+
+	l3HitCycles int
+	dramCycles  int
+
+	lines map[uint64]*dirEntry
+
+	Stats DirStats
+}
+
+// NewDirectory builds one directory bank. l3SizeBytes/l3Ways give the
+// bank's data-array geometry.
+func NewDirectory(nodeID, bank int, net Network, l3SizeBytes, l3Ways, lineBytes, l3HitCycles, dramCycles int) *Directory {
+	return &Directory{
+		nodeID:      nodeID,
+		bank:        bank,
+		net:         net,
+		l3:          sram.New(l3SizeBytes, l3Ways, lineBytes),
+		l3HitCycles: l3HitCycles,
+		dramCycles:  dramCycles,
+		lines:       make(map[uint64]*dirEntry),
+	}
+}
+
+// NodeID returns the bank's network node id.
+func (d *Directory) NodeID() int { return d.nodeID }
+
+func (d *Directory) entry(line uint64) *dirEntry {
+	e, ok := d.lines[line]
+	if !ok {
+		e = &dirEntry{owner: -1}
+		d.lines[line] = e
+	}
+	return e
+}
+
+// Handle processes one incoming message. The system calls it for every
+// message drained from this bank's network inbox.
+func (d *Directory) Handle(m *Msg) {
+	switch m.Type {
+	case MsgGetS, MsgGetX:
+		e := d.entry(m.Line)
+		if e.blocked {
+			d.Stats.Stalled.Inc()
+			d.Stats.StallDepth.Observe(float64(len(e.waiting)))
+			e.waiting = append(e.waiting, m)
+			return
+		}
+		d.serve(m, e)
+	case MsgPutX:
+		e := d.entry(m.Line)
+		if e.blocked {
+			// The owner is concurrently being forwarded-to; queue the
+			// writeback and drop it as stale once the transaction
+			// closes (the owner answers forwards even after evicting).
+			e.waiting = append(e.waiting, m)
+			return
+		}
+		d.handlePutX(m, e)
+	case MsgUnblock, MsgUnblockX:
+		d.handleUnblock(m)
+	case MsgGetFar:
+		e := d.entry(m.Line)
+		if e.blocked {
+			d.Stats.Stalled.Inc()
+			d.Stats.StallDepth.Observe(float64(len(e.waiting)))
+			e.waiting = append(e.waiting, m)
+			return
+		}
+		d.serveGetFar(m, e)
+	case MsgInvAck:
+		d.farAck(m)
+	case MsgData:
+		d.farData(m)
+	default:
+		panic(fmt.Sprintf("directory %d: unexpected message %s", d.bank, m))
+	}
+}
+
+// serve starts a transaction for a GetS/GetX on an unblocked entry.
+func (d *Directory) serve(m *Msg, e *dirEntry) {
+	switch m.Type {
+	case MsgGetS:
+		d.Stats.GetS.Inc()
+		d.serveGetS(m, e)
+	case MsgGetX:
+		d.Stats.GetX.Inc()
+		d.serveGetX(m, e)
+	case MsgPutX:
+		d.handlePutX(m, e)
+	case MsgGetFar:
+		d.serveGetFar(m, e)
+	default:
+		panic(fmt.Sprintf("directory %d: cannot serve %s", d.bank, m))
+	}
+}
+
+// serveGetFar performs an RMW at the bank: any private copies are
+// recalled first (sharers invalidated, an owner's dirty data pulled
+// back), then the L3 updates the line in place and answers the
+// requestor. The line stays at the L3 — far atomics never bounce it.
+func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
+	d.Stats.FarOps.Inc()
+	switch e.state {
+	case dirI:
+		// Uncontested: L3 (or DRAM) access plus the ALU operation.
+		d.net.SendAfter(&Msg{
+			Type: MsgFarDone, Line: m.Line, Src: d.nodeID, Dst: m.Requestor,
+			Requestor: m.Requestor,
+		}, d.dataDelay(m.Line)+1)
+	case dirS:
+		acks := 0
+		for c := 0; c < 64; c++ {
+			if e.sharers&(1<<uint(c)) == 0 {
+				continue
+			}
+			acks++
+			d.Stats.Invalidates.Inc()
+			d.net.Send(&Msg{
+				Type: MsgInv, Line: m.Line, Src: d.nodeID, Dst: c,
+				Requestor: d.nodeID, // acks return to the bank
+			})
+		}
+		e.blocked = true
+		e.pend = pending{requestor: m.Requestor, far: m, farAcks: acks}
+		if acks == 0 {
+			d.finishFar(m.Line, e)
+		}
+	case dirM:
+		// Recall the owner's copy; its Data returns to the bank. A
+		// locked line stalls the recall at the owner, exactly like a
+		// core-to-core forward.
+		d.Stats.Forwards.Inc()
+		d.net.Send(&Msg{
+			Type: MsgFwdGetX, Line: m.Line, Src: d.nodeID, Dst: e.owner,
+			Requestor: d.nodeID,
+		})
+		e.blocked = true
+		e.pend = pending{requestor: m.Requestor, far: m, farData: true}
+	}
+}
+
+func (d *Directory) farAck(m *Msg) {
+	e, ok := d.lines[m.Line]
+	if !ok || !e.blocked || e.pend.far == nil {
+		panic(fmt.Sprintf("directory %d: stray InvAck %s", d.bank, m))
+	}
+	e.pend.farAcks--
+	if e.pend.farAcks == 0 && !e.pend.farData {
+		d.finishFar(m.Line, e)
+	}
+}
+
+func (d *Directory) farData(m *Msg) {
+	e, ok := d.lines[m.Line]
+	if !ok || !e.blocked || e.pend.far == nil || !e.pend.farData {
+		panic(fmt.Sprintf("directory %d: stray Data %s", d.bank, m))
+	}
+	e.pend.farData = false
+	d.l3.Insert(m.Line, 0) // the recalled dirty line lands in the L3
+	if e.pend.farAcks == 0 {
+		d.finishFar(m.Line, e)
+	}
+}
+
+// finishFar applies the RMW at the bank and releases the line.
+func (d *Directory) finishFar(line uint64, e *dirEntry) {
+	req := e.pend.requestor
+	d.net.SendAfter(&Msg{
+		Type: MsgFarDone, Line: line, Src: d.nodeID, Dst: req,
+		Requestor: req,
+	}, d.dataDelay(line)+1)
+	e.state = dirI
+	e.owner = -1
+	e.sharers = 0
+	e.blocked = false
+	e.pend = pending{}
+	for len(e.waiting) > 0 && !e.blocked {
+		next := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		d.serve(next, e)
+	}
+}
+
+// dataDelay models the bank-side access needed to source the line:
+// L3 hit time, or DRAM on an L3 miss (the line is then installed).
+func (d *Directory) dataDelay(line uint64) uint64 {
+	if d.l3.Lookup(line, true) != nil {
+		d.Stats.L3Hits.Inc()
+		return uint64(d.l3HitCycles)
+	}
+	d.Stats.L3Misses.Inc()
+	d.l3.Insert(line, 0)
+	return uint64(d.l3HitCycles + d.dramCycles)
+}
+
+func (d *Directory) serveGetS(m *Msg, e *dirEntry) {
+	req := m.Requestor
+	switch e.state {
+	case dirI:
+		// Grant exclusive-clean: the common private-data fast path.
+		d.net.SendAfter(&Msg{
+			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
+			Requestor: req, Grant: GrantE,
+		}, d.dataDelay(m.Line))
+	case dirS:
+		d.net.SendAfter(&Msg{
+			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
+			Requestor: req, Grant: GrantS,
+		}, d.dataDelay(m.Line))
+	case dirM:
+		d.Stats.Forwards.Inc()
+		d.net.Send(&Msg{
+			Type: MsgFwdGetS, Line: m.Line, Src: d.nodeID, Dst: e.owner,
+			Requestor: req,
+		})
+	}
+	e.blocked = true
+	e.pend = pending{requestor: req, isWrite: false}
+}
+
+func (d *Directory) serveGetX(m *Msg, e *dirEntry) {
+	req := m.Requestor
+	switch e.state {
+	case dirI:
+		d.net.SendAfter(&Msg{
+			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
+			Requestor: req, Grant: GrantM,
+		}, d.dataDelay(m.Line))
+	case dirS:
+		acks := 0
+		for c := 0; c < 64; c++ {
+			if e.sharers&(1<<uint(c)) == 0 || c == req {
+				continue
+			}
+			acks++
+			d.Stats.Invalidates.Inc()
+			d.net.Send(&Msg{
+				Type: MsgInv, Line: m.Line, Src: d.nodeID, Dst: c,
+				Requestor: req,
+			})
+		}
+		d.net.SendAfter(&Msg{
+			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
+			Requestor: req, Grant: GrantM, AckCount: acks,
+		}, d.dataDelay(m.Line))
+	case dirM:
+		if e.owner == req {
+			// The recorded owner re-requests: its copy was silently
+			// evicted (clean E eviction). Re-supply from the L3.
+			d.net.SendAfter(&Msg{
+				Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
+				Requestor: req, Grant: GrantM,
+			}, d.dataDelay(m.Line))
+		} else {
+			d.Stats.Forwards.Inc()
+			d.net.Send(&Msg{
+				Type: MsgFwdGetX, Line: m.Line, Src: d.nodeID, Dst: e.owner,
+				Requestor: req,
+			})
+		}
+	}
+	e.blocked = true
+	e.pend = pending{requestor: req, isWrite: true}
+}
+
+func (d *Directory) handlePutX(m *Msg, e *dirEntry) {
+	d.Stats.PutX.Inc()
+	if e.state == dirM && e.owner == m.Src {
+		e.state = dirI
+		e.owner = -1
+		e.sharers = 0
+		d.l3.Insert(m.Line, 0)
+	}
+	// Otherwise stale (the line was forwarded away first): drop.
+}
+
+func (d *Directory) handleUnblock(m *Msg) {
+	e, ok := d.lines[m.Line]
+	if !ok || !e.blocked {
+		panic(fmt.Sprintf("directory %d: unexpected %s for unblocked line", d.bank, m))
+	}
+	if m.Src != e.pend.requestor {
+		panic(fmt.Sprintf("directory %d: %s from %d but pending requestor is %d", d.bank, m, m.Src, e.pend.requestor))
+	}
+	if m.Type == MsgUnblockX {
+		e.state = dirM
+		e.owner = m.Src
+		e.sharers = 0
+	} else {
+		// Read transaction closed. A previous M owner has downgraded
+		// to S; record both as sharers. An E grant is recorded as M so
+		// the silent E->M upgrade stays coherent (FwdGetS/FwdGetX to
+		// an E owner behave identically).
+		switch {
+		case e.state == dirM && e.owner >= 0:
+			e.sharers = (1 << uint(e.owner)) | (1 << uint(m.Src))
+			e.state = dirS
+			e.owner = -1
+		case m.Grant == GrantE:
+			e.state = dirM
+			e.owner = m.Src
+			e.sharers = 0
+		default:
+			e.sharers |= 1 << uint(m.Src)
+			e.state = dirS
+		}
+	}
+	e.blocked = false
+	e.pend = pending{}
+	// Serve stalled requests in order until one blocks the line again.
+	for len(e.waiting) > 0 && !e.blocked {
+		next := e.waiting[0]
+		e.waiting = e.waiting[1:]
+		d.serve(next, e)
+	}
+}
+
+// WarmOwned pre-installs a line as exclusively owned by a core (warm
+// start: the owner's private cache must be warmed to match).
+func (d *Directory) WarmOwned(line uint64, owner int) {
+	e := d.entry(line)
+	e.state = dirM
+	e.owner = owner
+	e.sharers = 0
+	d.l3.Insert(line, 0)
+}
+
+// WarmL3 pre-installs a line in the L3 data array with no private
+// copies (shared data warm start: the first requestor pays an L3 hit,
+// not a DRAM access).
+func (d *Directory) WarmL3(line uint64) {
+	d.l3.Insert(line, 0)
+}
+
+// PendingWork reports whether the directory still has blocked lines or
+// queued requests (used by the system's quiescence check).
+func (d *Directory) PendingWork() bool {
+	for _, e := range d.lines {
+		if e.blocked || len(e.waiting) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// L3 exposes the bank's data array (for stats).
+func (d *Directory) L3() *sram.Array { return d.l3 }
+
+// DebugBlocked describes every blocked line (deadlock diagnostics).
+func (d *Directory) DebugBlocked() []string {
+	var out []string
+	for line, e := range d.lines {
+		if !e.blocked && len(e.waiting) == 0 {
+			continue
+		}
+		out = append(out, fmt.Sprintf(
+			"bank%d line=%#x state=%d owner=%d blocked=%v pend={req=%d write=%v far=%v acks=%d data=%v} waiting=%d",
+			d.bank, line, e.state, e.owner, e.blocked,
+			e.pend.requestor, e.pend.isWrite, e.pend.far != nil, e.pend.farAcks, e.pend.farData,
+			len(e.waiting)))
+	}
+	return out
+}

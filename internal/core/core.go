@@ -1,0 +1,372 @@
+// Package core implements the cycle-level out-of-order core: a
+// 512-entry ROB with register renaming, load queue, store buffer and
+// the Atomic Queue (AQ) of Free Atomics, plus the paper's Rush-or-Wait
+// policy engine deciding when each atomic RMW issues.
+//
+// The core is trace-driven: it fetches pre-generated instructions from
+// a trace.Program, but all timing — dependencies, structural hazards,
+// cache locking, coherence stalls — is modeled cycle by cycle, so the
+// contention between cores emerges from the multicore simulation
+// rather than from the trace.
+package core
+
+import (
+	"fmt"
+	"os"
+
+	"rowsim/internal/cache"
+	"rowsim/internal/config"
+	"rowsim/internal/predictor"
+	"rowsim/internal/sram"
+	"rowsim/internal/stats"
+	"rowsim/internal/trace"
+)
+
+// instruction lifecycle states.
+type state uint8
+
+const (
+	sWaiting   state = iota // source operands pending
+	sReady                  // in the ready queue
+	sIssued                 // executing (ALU timer, AGU, or memory outstanding)
+	sWaitStore              // load blocked behind an older store (store sets / unready forward)
+	sWaitLazy               // atomic waiting for the lazy-issue conditions
+	sWaitLock               // atomic waiting for an older same-line lock to release
+	sCompleted              // executed; waiting to commit
+)
+
+// depRef identifies a dependent instruction to wake at completion.
+type depRef struct {
+	slot uint32
+	id   uint64
+}
+
+// robEntry is one in-flight instruction.
+type robEntry struct {
+	valid bool
+	id    uint64 // unique dynamic id; never reused
+	pi    int32  // program index (for squash refetch)
+	in    *trace.Instr
+	st    state
+
+	srcPending int8
+	token      uint16 // invalidates stale execution-wheel events
+	deps       []depRef
+
+	dispatchAt uint64
+	completeAt uint64
+
+	line      uint64
+	addrReady bool
+	lq, sb    int64 // absolute LQ/SB positions, -1 when not occupying
+	aq        int64 // absolute AQ position, -1 when none
+
+	waitStoreID uint64 // store-set: wait until this store resolves (0 = none)
+
+	mispred bool
+
+	// valueReady marks the result available to dependents before the
+	// instruction completes (store-to-atomic value forwarding).
+	valueReady bool
+
+	// Atomic execution state.
+	lazy          bool // current policy (may flip eager via forwarding)
+	predContended bool
+	addrCalcDone  bool
+	locked        bool
+	lockAt        uint64
+	lockIssueAt   uint64 // cycle the lock GetX was issued
+}
+
+// sbEntry is one store-buffer slot (allocated at dispatch, drains in
+// order after commit — TSO).
+type sbEntry struct {
+	id        uint64
+	slot      uint32
+	line      uint64
+	addrReady bool
+	committed bool
+	isAtomic  bool
+	noWrite   bool // far atomic: the RMW already happened at the L3
+}
+
+// lqEntry is one load-queue slot.
+type lqEntry struct {
+	id       uint64
+	slot     uint32
+	line     uint64
+	hasLine  bool
+	isAtomic bool
+	done     bool // performed its read (squashable until commit)
+}
+
+// aqEntry is one Atomic Queue slot, augmented with the RoW fields:
+// the contended bit, the only-calculate-address flag (implicit in
+// hasAddr + the entry's lazy policy) and the issued-cycle timestamp.
+type aqEntry struct {
+	id        uint64
+	slot      uint32
+	pc        uint64
+	line      uint64
+	hasAddr   bool
+	locked    bool
+	contended bool
+	issuedAt  uint64 // cycle the GetX was sent (14-bit semantics at use)
+	lockAt    uint64 // cycle the line was locked
+
+	predContended bool // prediction made at allocation (for training)
+	trainable     bool // update the predictor at unlock
+}
+
+// wheelEvent is a scheduled completion inside the core.
+type wheelEvent struct {
+	slot  uint32
+	id    uint64
+	token uint16
+	kind  uint8
+}
+
+const (
+	evALUDone uint8 = iota
+	evLoadAGU
+	evStoreAGU
+	evAtomicAGU      // address-calculation pass for an atomic
+	evAtomicOp       // the RMW ALU operation after the lock
+	evForwarded      // store-to-load forward data delivery
+	evAtomicRetry    // replay of a force-released lock acquisition
+	evAtomicFwdValue // forwarded RMW result becomes visible to dependents
+)
+
+const wheelSize = 16 // > max internal latency
+
+// Tag encoding for memory responses: slot in the low bits, id above.
+const tagSlotBits = 12
+
+// debugLock enables lock-timeline prints for core 0 (development aid;
+// compiled out when false).
+var debugLock = os.Getenv("ROWSIM_DEBUG_LOCK") != ""
+
+// Stats aggregates a core's behaviour for the experiment harnesses.
+type Stats struct {
+	Committed uint64
+	Atomics   uint64 // committed locking atomics
+
+	EagerIssued uint64
+	LazyIssued  uint64
+	FarIssued   uint64
+
+	ContendedAtomics uint64 // contended bit set at unlock
+	ForwardedAtomics uint64 // flipped eager by a matching SB store
+	ForcedReleases   uint64
+	PredictedLazy    uint64
+	Mispredicts      uint64
+	Branches         uint64
+	LQSquashes       uint64
+	SSViolations     uint64
+	LoadForwards     uint64
+
+	// Fig. 6 latency breakdown (per locking atomic).
+	DispatchToIssue stats.Mean
+	IssueToLock     stats.Mean
+	LockToUnlock    stats.Mean
+	// LockHold is the lock-window distribution (tail behaviour shows
+	// the convoying the paper's lazy mode avoids).
+	LockHold *stats.Histogram
+
+	// Fig. 4 instrumentation.
+	OlderUnexecAtEager   stats.Mean // older instrs not yet executed when an eager atomic issues
+	YoungerStartedAtLazy stats.Mean // younger instrs already executing when a lazy atomic issues
+}
+
+// Core is one simulated out-of-order core.
+type Core struct {
+	id  int
+	cfg *config.Config
+
+	prog        trace.Program
+	fetchIdx    int
+	fetchHoldBy uint64 // id of the mispredicted branch stalling fetch (0 = none)
+	fetchFreeAt uint64 // front-end redirect bubble
+
+	now    uint64
+	nextID uint64
+
+	rob     []robEntry
+	robHead int64 // absolute position of oldest entry
+	robTail int64 // absolute position one past youngest
+	robMask int64
+
+	lq     []lqEntry
+	lqHead int64
+	lqTail int64
+	sb     []sbEntry
+	sbHead int64
+	sbTail int64
+	aq     []aqEntry
+	aqHead int64
+	aqTail int64
+
+	rename [trace.NumRegs]depRef
+
+	readyQ       []depRef
+	lazyWait     []depRef // atomics in sWaitLazy
+	storeBlocked []depRef // loads in sWaitStore
+	fenceBlocked []depRef // memory ops stalled behind a fence
+	lockWait     []depRef // atomics waiting for a same-line lock
+	orderWait    []depRef // atomics whose line arrived before an older atomic locked
+	fenceIDs     []uint64 // in-flight fences (and fenced atomics), ascending
+
+	wheel [][]wheelEvent // wheelSize buckets
+
+	mem *cache.Private
+	bp  *predictor.Branch
+	ss  *predictor.StoreSet
+	cp  *predictor.Contention
+
+	// Instruction cache: fetch stalls on a miss while the line fills
+	// from the private L2 (instructions are read-only, so the I-side
+	// stays outside the coherence protocol).
+	l1i         *sram.Array
+	l1iLineMask uint64
+	l1iLastLine uint64
+	l1iMisses   uint64
+
+	memPortsUsed int
+	drainBusy    bool // SB drain write in flight
+
+	done       bool
+	finishedAt uint64
+
+	Stats Stats
+}
+
+// New builds a core executing prog. The private cache is created by
+// the caller (the system) and attached with AttachMemory, because it
+// needs the network and bank mapping.
+func New(id int, cfg *config.Config, prog trace.Program) *Core {
+	c := &Core{
+		id:          id,
+		cfg:         cfg,
+		prog:        prog,
+		rob:         make([]robEntry, nextPow2(cfg.Core.ROBSize)),
+		lq:          make([]lqEntry, cfg.Core.LQSize),
+		sb:          make([]sbEntry, cfg.Core.SBSize),
+		aq:          make([]aqEntry, cfg.Core.AQSize),
+		bp:          predictor.NewBranch(12),
+		ss:          predictor.NewStoreSet(10),
+		l1i:         sram.New(cfg.Mem.L1I.SizeBytes, cfg.Mem.L1I.Ways, cfg.Mem.LineBytes),
+		l1iLineMask: ^uint64(cfg.Mem.LineBytes - 1),
+		l1iLastLine: ^uint64(0),
+	}
+	c.robMask = int64(len(c.rob) - 1)
+	c.wheel = make([][]wheelEvent, wheelSize)
+	c.Stats.LockHold = stats.NewHistogram(1 << 16)
+	if cfg.Policy == config.PolicyRoW {
+		c.cp = predictor.NewContention(cfg)
+	}
+	c.nextID = 1
+	return c
+}
+
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// AttachMemory wires the private cache hierarchy.
+func (c *Core) AttachMemory(m *cache.Private) { c.mem = m }
+
+// Mem returns the core's private cache (for stats).
+func (c *Core) Mem() *cache.Private { return c.mem }
+
+// ContentionPredictor returns the RoW predictor, or nil when the
+// policy is not RoW.
+func (c *Core) ContentionPredictor() *predictor.Contention { return c.cp }
+
+// BranchPredictor returns the direction predictor.
+func (c *Core) BranchPredictor() *predictor.Branch { return c.bp }
+
+// L1IMisses returns the number of instruction-cache misses.
+func (c *Core) L1IMisses() uint64 { return c.l1iMisses }
+
+// Done reports whether the core has committed its whole program and
+// drained its buffers.
+func (c *Core) Done() bool { return c.done }
+
+// FinishedAt returns the cycle the core completed (valid once Done).
+func (c *Core) FinishedAt() uint64 { return c.finishedAt }
+
+// ID returns the core's id.
+func (c *Core) ID() int { return c.id }
+
+func (c *Core) entry(pos int64) *robEntry { return &c.rob[pos&c.robMask] }
+
+func (c *Core) slotOf(pos int64) uint32 { return uint32(pos & c.robMask) }
+
+func (c *Core) robFull() bool { return c.robTail-c.robHead >= int64(c.cfg.Core.ROBSize) }
+
+func (c *Core) entryBySlot(slot uint32, id uint64) *robEntry {
+	e := &c.rob[slot]
+	if !e.valid || e.id != id {
+		return nil
+	}
+	return e
+}
+
+// posOfSlot reconstructs the absolute ROB position of a live slot.
+func (c *Core) posOfSlot(slot uint32) int64 {
+	base := c.robHead &^ c.robMask
+	pos := base | int64(slot)
+	if pos < c.robHead {
+		pos += c.robMask + 1
+	}
+	return pos
+}
+
+func (c *Core) makeTag(slot uint32, id uint64) uint64 {
+	return uint64(slot) | id<<tagSlotBits
+}
+
+func (c *Core) fromTag(tag uint64) (*robEntry, uint32) {
+	slot := uint32(tag & (1<<tagSlotBits - 1))
+	id := tag >> tagSlotBits
+	return c.entryBySlot(slot, id), slot
+}
+
+func (c *Core) schedule(lat int, kind uint8, slot uint32, id uint64, token uint16) {
+	if lat < 1 {
+		lat = 1
+	}
+	if lat >= wheelSize {
+		panic(fmt.Sprintf("core %d: latency %d exceeds wheel", c.id, lat))
+	}
+	b := (c.now + uint64(lat)) % wheelSize
+	c.wheel[b] = append(c.wheel[b], wheelEvent{slot: slot, id: id, token: token, kind: kind})
+}
+
+// PendingWork reports whether the core still has in-flight state
+// (quiescence/deadlock diagnostics).
+func (c *Core) PendingWork() bool {
+	return !c.done
+}
+
+func (c *Core) String() string {
+	head := "empty"
+	if c.robHead < c.robTail {
+		e := c.entry(c.robHead)
+		head = fmt.Sprintf("%s st=%d src=%d lq=%d/%d sb=%d/%d locked=%v lazy=%v",
+			e.in, e.st, e.srcPending, e.lq, c.lqHead, e.sb, c.sbHead, e.locked, e.lazy)
+	}
+	sbh := "empty"
+	if c.sbHead < c.sbTail {
+		h := &c.sb[c.sbHead%int64(len(c.sb))]
+		sbh = fmt.Sprintf("id=%d line=%#x committed=%v addrReady=%v atomic=%v",
+			h.id, h.line, h.committed, h.addrReady, h.isAtomic)
+	}
+	return fmt.Sprintf("core%d{fetch=%d/%d rob=%d lq=%d sb=%d aq=%d drainBusy=%v done=%v head: %s | sbHead: %s}",
+		c.id, c.fetchIdx, len(c.prog), c.robTail-c.robHead, c.lqTail-c.lqHead,
+		c.sbTail-c.sbHead, c.aqTail-c.aqHead, c.drainBusy, c.done, head, sbh)
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"testing"
+
+	"rowsim/internal/config"
+	"rowsim/internal/trace"
+)
+
+func testCore(t *testing.T, cfgMut func(*config.Config)) *Core {
+	t.Helper()
+	cfg := config.Default()
+	cfg.NumCores = 1
+	if cfgMut != nil {
+		cfgMut(cfg)
+	}
+	return New(0, cfg, trace.Program{})
+}
+
+func TestNextPow2(t *testing.T) {
+	cases := map[int]int{1: 1, 2: 2, 3: 4, 512: 512, 513: 1024}
+	for in, want := range cases {
+		if got := nextPow2(in); got != want {
+			t.Errorf("nextPow2(%d) = %d, want %d", in, got, want)
+		}
+	}
+}
+
+func TestTagRoundTrip(t *testing.T) {
+	c := testCore(t, nil)
+	c.rob[37] = robEntry{valid: true, id: 123456}
+	tag := c.makeTag(37, 123456)
+	e, slot := c.fromTag(tag)
+	if e == nil || slot != 37 || e.id != 123456 {
+		t.Fatalf("round trip failed: e=%v slot=%d", e, slot)
+	}
+	// Stale id: nil.
+	if e, _ := c.fromTag(c.makeTag(37, 99)); e != nil {
+		t.Fatal("stale tag resolved")
+	}
+}
+
+func TestWrappedLatency(t *testing.T) {
+	c := testCore(t, nil)
+	if got := c.wrappedLatency(100, 500); got != 400 {
+		t.Fatalf("latency = %d, want 400", got)
+	}
+	// The 14-bit subtractor aliases latencies near 2^14 (footnote 4):
+	// a 16384+100 cycle latency reads as 100.
+	if got := c.wrappedLatency(0, 16384+100); got != 100 {
+		t.Fatalf("wrapped latency = %d, want 100", got)
+	}
+}
+
+func TestFenceIDBookkeeping(t *testing.T) {
+	c := testCore(t, nil)
+	c.fenceIDs = []uint64{3, 7, 9}
+	if !c.fenceBlocks(8) {
+		t.Fatal("fence 3 must block id 8")
+	}
+	if c.fenceBlocks(2) {
+		t.Fatal("no fence older than id 2")
+	}
+	c.removeFence(7)
+	if len(c.fenceIDs) != 2 || c.fenceIDs[0] != 3 || c.fenceIDs[1] != 9 {
+		t.Fatalf("fenceIDs = %v", c.fenceIDs)
+	}
+	c.removeFence(42) // absent: no-op
+	if len(c.fenceIDs) != 2 {
+		t.Fatal("removing an absent fence changed the list")
+	}
+}
+
+func TestPosOfSlot(t *testing.T) {
+	c := testCore(t, nil)
+	// Simulate an advanced ring: head at 600 (wrapped).
+	c.robHead, c.robTail = 600, 700
+	for p := c.robHead; p < c.robTail; p++ {
+		slot := c.slotOf(p)
+		if got := c.posOfSlot(slot); got != p {
+			t.Fatalf("posOfSlot(slotOf(%d)) = %d", p, got)
+		}
+	}
+}
+
+func TestAQScansEmpty(t *testing.T) {
+	c := testCore(t, nil)
+	if c.LineLocked(0x40) {
+		t.Fatal("empty AQ reports a lock")
+	}
+	if c.olderSameLineAtomic(0x40, 5) || c.olderUnlockedAtomic(5) {
+		t.Fatal("empty AQ reports conflicts")
+	}
+	if c.ExternalRequest(0x40, true) {
+		t.Fatal("empty AQ stalls external requests")
+	}
+}
+
+func TestAQLockBookkeeping(t *testing.T) {
+	c := testCore(t, nil)
+	c.aq[0] = aqEntry{id: 5, slot: 1, line: 0x100, hasAddr: true, locked: true}
+	c.aqTail = 1
+	if !c.LineLocked(0x100) {
+		t.Fatal("locked line not reported")
+	}
+	if c.LineLocked(0x140) {
+		t.Fatal("wrong line reported locked")
+	}
+	if !c.olderSameLineAtomic(0x100, 9) {
+		t.Fatal("younger same-line atomic not blocked")
+	}
+	if c.olderSameLineAtomic(0x100, 5) {
+		t.Fatal("the atomic blocks itself")
+	}
+	if c.olderSameLineAtomic(0x100, 3) {
+		t.Fatal("an older atomic blocked by a younger one")
+	}
+	if c.olderUnlockedAtomic(9) {
+		t.Fatal("locked entry counted as unlocked")
+	}
+	c.aq[0].locked = false
+	if !c.olderUnlockedAtomic(9) {
+		t.Fatal("unlocked older atomic not reported")
+	}
+}
+
+func TestExternalRequestDetection(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.RoW.Detection = config.DetectRW
+	c := New(0, cfg, trace.Program{})
+	// Unlocked address match: ready-window detection marks contended
+	// without stalling.
+	c.aq[0] = aqEntry{id: 5, slot: 1, line: 0x100, hasAddr: true}
+	c.aqTail = 1
+	if c.ExternalRequest(0x100, true) {
+		t.Fatal("unlocked match must not stall")
+	}
+	if !c.aq[0].contended {
+		t.Fatal("ready window did not mark contention")
+	}
+	// Locked match: stalls and marks.
+	c.aq[0].contended = false
+	c.aq[0].locked = true
+	if !c.ExternalRequest(0x100, true) {
+		t.Fatal("locked match must stall")
+	}
+	if !c.aq[0].contended {
+		t.Fatal("execution window did not mark contention")
+	}
+}
+
+func TestExternalRequestEWIgnoresUnlocked(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.RoW.Detection = config.DetectEW
+	c := New(0, cfg, trace.Program{})
+	c.aq[0] = aqEntry{id: 5, slot: 1, line: 0x100, hasAddr: true}
+	c.aqTail = 1
+	c.ExternalRequest(0x100, true)
+	if c.aq[0].contended {
+		t.Fatal("EW detection must not use the ready window")
+	}
+}
+
+func TestDetectDirRespectsThreshold(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.RoW.Detection = config.DetectRWDir
+	c := New(0, cfg, trace.Program{})
+	if !c.detectDir() {
+		t.Fatal("RW+Dir with a finite threshold must enable Dir detection")
+	}
+	cfg.RoW.LatencyThreshold = -1 // infinite
+	if c.detectDir() {
+		t.Fatal("infinite threshold must disable Dir detection")
+	}
+}

@@ -1,0 +1,564 @@
+package core
+
+import (
+	"fmt"
+
+	"rowsim/internal/cache"
+	"rowsim/internal/config"
+	"rowsim/internal/trace"
+)
+
+// loadAfterAGU runs when a load's address generation finishes: record
+// the line in the LQ, honour store-set dependencies, try store-to-load
+// forwarding, and otherwise access the L1D.
+func (c *Core) loadAfterAGU(e *robEntry, slot uint32) {
+	e.line = c.mem.Line(e.in.Addr)
+	e.addrReady = true
+	le := &c.lq[e.lq%int64(len(c.lq))]
+	le.line = e.line
+	le.hasLine = true
+
+	if e.waitStoreID != 0 && c.storeUnresolved(e.waitStoreID) {
+		e.st = sWaitStore
+		c.storeBlocked = append(c.storeBlocked, depRef{slot: slot, id: e.id})
+		return
+	}
+	if idx := c.sbMatch(e.id, e.line, false); idx >= 0 {
+		// Forward from the youngest matching resolved store.
+		c.Stats.LoadForwards++
+		c.schedule(c.cfg.Core.ForwardLat, evForwarded, slot, e.id, e.token)
+		return
+	}
+	c.mem.TrainPrefetch(e.in.PC, e.in.Addr)
+	c.mem.Access(c.makeTag(slot, e.id), e.in.Addr, false)
+}
+
+// storeAfterAGU resolves a store's address: update its SB entry,
+// detect memory-order violations by younger loads, prefetch the line
+// exclusive, and complete (data sources were ready at issue).
+func (c *Core) storeAfterAGU(e *robEntry, slot uint32) {
+	e.line = c.mem.Line(e.in.Addr)
+	e.addrReady = true
+	se := &c.sb[e.sb%int64(len(c.sb))]
+	se.line = e.line
+	se.addrReady = true
+	c.ss.CompleteStore(e.in.PC, e.id)
+
+	// A violation flush only removes loads younger than this store,
+	// so the store itself always survives.
+	c.checkViolation(e)
+	// Exclusive prefetch so the post-commit drain write hits.
+	c.mem.Access(cache.TagPrefetch, e.in.Addr, true)
+	c.complete(e, slot)
+	c.wakeStoreBlocked()
+}
+
+// atomicAfterAGU is the atomic's address-calculation pass. For
+// predicted-contended atomics under RoW this is the
+// only-calculate-address issue: it opens the ready window (the AQ now
+// knows the address) and searches the SB for a forwarding match that
+// would flip the atomic back to eager (atomic locality, Section IV-E).
+func (c *Core) atomicAfterAGU(e *robEntry, slot uint32) {
+	e.line = c.mem.Line(e.in.Addr)
+	e.addrReady = true
+	e.addrCalcDone = true
+	if le := &c.lq[e.lq%int64(len(c.lq))]; le.id == e.id {
+		le.line = e.line
+		le.hasLine = true
+	}
+	if se := &c.sb[e.sb%int64(len(c.sb))]; se.id == e.id {
+		se.line = e.line
+		se.addrReady = true
+	}
+	if e.aq >= 0 {
+		a := &c.aq[e.aq%int64(len(c.aq))]
+		a.line = e.line
+		a.hasAddr = true
+	}
+
+	if c.cfg.ForwardAtomics && !c.cfg.Core.FencedAtomics && c.cfg.Policy != config.PolicyFar &&
+		c.sbMatch(e.id, e.line, true) >= 0 {
+		// Atomic locality (Section IV-E): a matching older regular
+		// store can forward its data, and a predicted-contended
+		// atomic flips to eager so the line is locked while the store
+		// still owns it. The store contends for the line anyway,
+		// which mitigates the cost of the eager lock.
+		c.Stats.ForwardedAtomics++
+		if e.lazy {
+			e.lazy = false
+		}
+		// Dependents can proceed as soon as the forwarded value
+		// arrives, before the lock completes.
+		c.schedule(c.cfg.Core.ForwardLat+c.cfg.Core.IntALULatency, evAtomicFwdValue, slot, e.id, e.token)
+	}
+	if e.lazy && !c.lazyReady(e) {
+		e.st = sWaitLazy
+		c.lazyWait = append(c.lazyWait, depRef{slot: slot, id: e.id})
+		return
+	}
+	c.tryLock(e, slot)
+}
+
+// tryLock issues the atomic's load_lock: request the line with
+// exclusive permission. Same-line atomics of one core serialize in
+// age order: a younger atomic waits for an older in-flight same-line
+// atomic, and an older atomic preempts a younger one that locked
+// first (the younger replays after the older unlocks) — otherwise the
+// commit order would deadlock against the lock order.
+func (c *Core) tryLock(e *robEntry, slot uint32) {
+	if c.cfg.Policy == config.PolicyFar && e.in.LocksLine() {
+		// Far execution: ship the RMW to the line's home bank.
+		e.st = sIssued
+		e.lockIssueAt = c.now
+		c.Stats.DispatchToIssue.Observe(float64(c.now - e.dispatchAt))
+		c.Stats.FarIssued++
+		c.mem.FarRMW(c.makeTag(slot, e.id), e.in.Addr)
+		return
+	}
+	if c.olderSameLineAtomic(e.line, e.id) {
+		e.st = sWaitLock
+		c.lockWait = append(c.lockWait, depRef{slot: slot, id: e.id})
+		return
+	}
+	c.preemptYoungerLock(e.line, e.id)
+	e.st = sIssued
+	e.lockIssueAt = c.now
+	if e.aq >= 0 {
+		c.aq[e.aq%int64(len(c.aq))].issuedAt = c.now
+	}
+	c.Stats.DispatchToIssue.Observe(float64(c.now - e.dispatchAt))
+	if e.lazy {
+		c.Stats.LazyIssued++
+		c.Stats.YoungerStartedAtLazy.Observe(float64(c.countYoungerStarted(e.id)))
+	} else {
+		c.Stats.EagerIssued++
+		c.Stats.OlderUnexecAtEager.Observe(float64(c.countOlderUnexecuted(e.id)))
+	}
+	c.mem.Access(c.makeTag(slot, e.id), e.in.Addr, true)
+}
+
+// MemResp implements cache.Client: a memory access completed.
+func (c *Core) MemResp(tag uint64, info cache.RespInfo) {
+	if tag>>63 == 1 {
+		// Store-buffer drain GetX completed; the write retries next
+		// cycle and will hit.
+		c.drainBusy = false
+		return
+	}
+	e, slot := c.fromTag(tag)
+	if e == nil {
+		return // flushed while the miss was outstanding
+	}
+	switch e.in.Kind {
+	case trace.Load:
+		if e.lq >= 0 {
+			le := &c.lq[e.lq%int64(len(c.lq))]
+			if le.id == e.id {
+				le.done = true
+			}
+		}
+		c.complete(e, slot)
+	case trace.Atomic:
+		c.atomicLineArrived(e, slot, info)
+	default:
+		panic(fmt.Sprintf("core %d: unexpected MemResp for %s", c.id, e.in))
+	}
+}
+
+// atomicLineArrived locks the line (for locking atomics) and starts
+// the RMW ALU operation. The RW+Dir contention detector fires here:
+// a fill served by a remote private cache whose latency exceeds the
+// threshold marks the atomic contended.
+func (c *Core) atomicLineArrived(e *robEntry, slot uint32, info cache.RespInfo) {
+	if c.cfg.Policy == config.PolicyFar && e.in.LocksLine() {
+		// The bank performed the RMW; the result is back.
+		c.Stats.IssueToLock.Observe(float64(c.now - e.lockIssueAt))
+		if le := &c.lq[e.lq%int64(len(c.lq))]; le.id == e.id {
+			le.done = true
+		}
+		c.complete(e, slot)
+		return
+	}
+	if e.in.LocksLine() {
+		if c.olderSameLineAtomic(e.line, e.id) {
+			// An older same-line atomic appeared (resolved its
+			// address) between our request and the response: wait
+			// for its unlock.
+			e.st = sWaitLock
+			c.lockWait = append(c.lockWait, depRef{slot: slot, id: e.id})
+			return
+		}
+		if c.olderUnlockedAtomic(e.id) {
+			// Locks are acquired in program order per core: this is
+			// what makes cache locking deadlock-free (the globally
+			// oldest atomic can always commit, so every lock releases
+			// in finite time) and what keeps lock-hold times from
+			// inflating to other atomics' queueing delays. The line
+			// stays cached unlocked — a contending core may steal it
+			// before our turn comes, in which case the lock request
+			// replays.
+			e.st = sWaitLock
+			c.orderWait = append(c.orderWait, depRef{slot: slot, id: e.id})
+			return
+		}
+		c.preemptYoungerLock(e.line, e.id)
+		a := &c.aq[e.aq%int64(len(c.aq))]
+		a.locked = true
+		a.lockAt = c.now
+		e.locked = true
+		e.lockAt = c.now
+		if debugLock && c.id == 0 {
+			headID := uint64(0)
+			if c.robHead < c.robTail {
+				headID = c.entry(c.robHead).id
+			}
+			fmt.Printf("[%d] core0 LOCK line=%#x id=%d distToHead=%d olderUnexec=%d sbDepth=%d issueToLock=%d\n",
+				c.now, e.line, e.id, e.id-headID, c.countOlderUnexecuted(e.id), e.sb-c.sbHead, c.now-e.lockIssueAt)
+		}
+		c.Stats.IssueToLock.Observe(float64(c.now - e.lockIssueAt))
+		if c.detectDir() && info.FromPrivate && !info.Hit {
+			// The AQ's request-issued-cycle field feeds the 14-bit
+			// subtractor/comparator (Section IV-C hardware).
+			if c.wrappedLatency(a.issuedAt, c.now) > uint64(c.cfg.RoW.LatencyThreshold) {
+				a.contended = true
+			}
+		}
+		if le := &c.lq[e.lq%int64(len(c.lq))]; le.id == e.id {
+			le.done = true
+		}
+	}
+	e.token++
+	c.schedule(c.cfg.Core.IntALULatency, evAtomicOp, slot, e.id, e.token)
+}
+
+// detectDir reports whether the directory-latency detector is active.
+func (c *Core) detectDir() bool {
+	return c.cfg.RoW.Detection == config.DetectRWDir && c.cfg.RoW.LatencyThreshold >= 0
+}
+
+// wrappedLatency computes now-issued using unsigned arithmetic at the
+// configured timestamp width, exactly as the 14-bit hardware
+// subtractor would (footnote 4 of the paper: a latency in
+// [2^14, 2^14+threshold] aliases below the threshold).
+func (c *Core) wrappedLatency(issued, now uint64) uint64 {
+	mask := uint64(1)<<uint(c.cfg.RoW.TimestampBits) - 1
+	return (now - issued) & mask
+}
+
+// ExternalRequest implements cache.Client: an Inv or Fwd arrived for
+// line. Locked matches stall the request (cache locking) and mark the
+// atomic contended (execution-window detection); with the ready
+// window enabled, unlocked address matches are marked too.
+func (c *Core) ExternalRequest(line uint64, write bool) (stall bool) {
+	rw := c.cfg.RoW.Detection == config.DetectRW || c.cfg.RoW.Detection == config.DetectRWDir
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if !a.hasAddr || a.line != line {
+			continue
+		}
+		if a.locked {
+			a.contended = true
+			stall = true
+		} else if rw {
+			a.contended = true
+		}
+	}
+	return stall
+}
+
+// LineLocked implements cache.Client (eviction veto).
+func (c *Core) LineLocked(line uint64) bool {
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if a.locked && a.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// olderUnlockedAtomic reports whether an older in-flight locking
+// atomic has not yet acquired its lock (per-core lock ordering).
+func (c *Core) olderUnlockedAtomic(id uint64) bool {
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if a.id != 0 && a.id < id && !a.locked {
+			return true
+		}
+	}
+	return false
+}
+
+// olderSameLineAtomic reports whether an older in-flight atomic with a
+// resolved address targets the same line (the younger must wait).
+func (c *Core) olderSameLineAtomic(line uint64, id uint64) bool {
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if a.id != 0 && a.id < id && a.hasAddr && a.line == line {
+			return true
+		}
+	}
+	return false
+}
+
+// preemptYoungerLock force-releases a younger atomic's lock on the
+// line so an older atomic can proceed; the younger replays once the
+// older unlocks.
+func (c *Core) preemptYoungerLock(line uint64, id uint64) {
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if a.id <= id || !a.locked || a.line != line {
+			continue
+		}
+		ye := c.entryBySlot(a.slot, a.id)
+		if ye == nil {
+			continue
+		}
+		a.locked = false
+		ye.locked = false
+		ye.token++ // cancel an in-flight op completion
+		ye.st = sWaitLock
+		c.lockWait = append(c.lockWait, depRef{slot: a.slot, id: a.id})
+		// The line stays in the cache (the older atomic locks it
+		// next); no coherence action is needed, but a stalled
+		// external request must not be released here — the older
+		// atomic's lock keeps stalling it.
+	}
+}
+
+// LineInvalidated implements cache.Client: the line left the private
+// cache. TSO requires squashing speculatively performed loads whose
+// value may now violate the global order.
+func (c *Core) LineInvalidated(line uint64) {
+	for p := c.lqHead; p < c.lqTail; p++ {
+		le := &c.lq[p%int64(len(c.lq))]
+		if le.isAtomic || !le.hasLine || le.line != line || !le.done {
+			continue
+		}
+		e := c.entryBySlot(le.slot, le.id)
+		if e == nil {
+			continue
+		}
+		c.Stats.LQSquashes++
+		c.flushFrom(c.posOfSlot(le.slot))
+		return
+	}
+}
+
+// ForceRelease implements cache.Client: the progress guarantee asks
+// to break a lock whose external request has stalled too long. The
+// lock is released and the atomic replays its lock acquisition unless
+// the unlock is imminent.
+func (c *Core) ForceRelease(line uint64) bool {
+	for p := c.aqHead; p < c.aqTail; p++ {
+		a := &c.aq[p%int64(len(c.aq))]
+		if !a.locked || a.line != line {
+			continue
+		}
+		e := c.entryBySlot(a.slot, a.id)
+		if e == nil {
+			continue
+		}
+		// Imminent unlock: the atomic is committed (SB entry just
+		// needs to drain) or at the ROB head with a drained SB.
+		if e.st == sCompleted && e.sb == c.sbHead && c.posOfSlot(a.slot) == c.robHead {
+			return false
+		}
+		a.locked = false
+		a.contended = true // a stalled external request is contention
+		e.locked = false
+		e.token++ // cancel an in-flight op completion
+		c.Stats.ForcedReleases++
+		// Replay the lock acquisition. The retry is delayed a couple
+		// of cycles so the released line leaves the cache first (the
+		// stalled external request is served right after this call
+		// returns); the replayed GetX then queues at the directory
+		// behind the winner.
+		if e.lazy {
+			e.st = sWaitLazy
+			c.lazyWait = append(c.lazyWait, depRef{slot: a.slot, id: a.id})
+		} else {
+			e.st = sIssued
+			c.schedule(2, evAtomicRetry, a.slot, a.id, e.token)
+		}
+		return true
+	}
+	return false
+}
+
+// sbMatch returns the SB index (>=0) of the youngest resolved entry
+// older than id writing the same line, or -1. regularOnly excludes
+// atomic store_unlocks (atomics only forward from plain stores in our
+// design, Section IV-E).
+func (c *Core) sbMatch(id uint64, line uint64, regularOnly bool) int {
+	for p := c.sbTail - 1; p >= c.sbHead; p-- {
+		se := &c.sb[p%int64(len(c.sb))]
+		if se.id >= id || !se.addrReady || se.line != line {
+			continue
+		}
+		if regularOnly && se.isAtomic {
+			continue
+		}
+		return int(p % int64(len(c.sb)))
+	}
+	return -1
+}
+
+// storeUnresolved reports whether the store with this id is still in
+// the SB without a resolved address.
+func (c *Core) storeUnresolved(id uint64) bool {
+	for p := c.sbHead; p < c.sbTail; p++ {
+		se := &c.sb[p%int64(len(c.sb))]
+		if se.id == id {
+			return !se.addrReady
+		}
+	}
+	return false // drained or flushed
+}
+
+// wakeStoreBlocked rechecks loads blocked on store resolution.
+func (c *Core) wakeStoreBlocked() {
+	if len(c.storeBlocked) == 0 {
+		return
+	}
+	kept := c.storeBlocked[:0]
+	for _, ref := range c.storeBlocked {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitStore {
+			continue
+		}
+		if e.waitStoreID != 0 && c.storeUnresolved(e.waitStoreID) {
+			kept = append(kept, ref)
+			continue
+		}
+		e.st = sIssued
+		if idx := c.sbMatch(e.id, e.line, false); idx >= 0 {
+			c.Stats.LoadForwards++
+			e.token++
+			c.schedule(c.cfg.Core.ForwardLat, evForwarded, ref.slot, e.id, e.token)
+		} else {
+			c.mem.TrainPrefetch(e.in.PC, e.in.Addr)
+			c.mem.Access(c.makeTag(ref.slot, e.id), e.in.Addr, false)
+		}
+	}
+	c.storeBlocked = kept
+}
+
+// checkViolation detects loads that speculatively executed past this
+// store to the same line (memory-order violation): squash the oldest
+// and train the store sets.
+func (c *Core) checkViolation(st *robEntry) {
+	for p := c.lqHead; p < c.lqTail; p++ {
+		le := &c.lq[p%int64(len(c.lq))]
+		if le.id <= st.id || !le.hasLine || le.line != st.line || !le.done || le.isAtomic {
+			continue
+		}
+		e := c.entryBySlot(le.slot, le.id)
+		if e == nil {
+			continue
+		}
+		c.Stats.SSViolations++
+		c.ss.Violation(e.in.PC, st.in.PC)
+		c.flushFrom(c.posOfSlot(le.slot))
+		return
+	}
+}
+
+// countOlderUnexecuted counts in-flight instructions older than id
+// that have not started executing (Fig. 4, first bar).
+func (c *Core) countOlderUnexecuted(id uint64) int {
+	n := 0
+	for p := c.robHead; p < c.robTail; p++ {
+		e := c.entry(p)
+		if e.id >= id {
+			break
+		}
+		switch e.st {
+		case sWaiting, sReady, sWaitStore, sWaitLazy, sWaitLock:
+			n++
+		}
+	}
+	return n
+}
+
+// countYoungerStarted counts instructions younger than id that have
+// already started executing (Fig. 4, second bar).
+func (c *Core) countYoungerStarted(id uint64) int {
+	n := 0
+	for p := c.robHead; p < c.robTail; p++ {
+		e := c.entry(p)
+		if e.id <= id {
+			continue
+		}
+		if e.st == sIssued || e.st == sCompleted {
+			n++
+		}
+	}
+	return n
+}
+
+// flushFrom squashes every instruction at or after the given absolute
+// ROB position, rolling back the LQ/SB/AQ tails, releasing squashed
+// locks and restarting fetch at the squash point.
+func (c *Core) flushFrom(pos int64) {
+	if pos >= c.robTail {
+		return
+	}
+	first := c.entry(pos)
+	refetch := first.pi
+	// Lock releases are deferred until the rollback finishes: serving
+	// a stalled external request re-enters the core (LineInvalidated)
+	// and must observe consistent queues.
+	var released []uint64
+	for p := c.robTail - 1; p >= pos; p-- {
+		e := c.entry(p)
+		if e.lq >= 0 {
+			if e.lq != c.lqTail-1 {
+				panic(fmt.Sprintf("core %d: LQ rollback out of order", c.id))
+			}
+			c.lq[e.lq%int64(len(c.lq))] = lqEntry{}
+			c.lqTail--
+		}
+		if e.sb >= 0 {
+			if e.sb != c.sbTail-1 {
+				panic(fmt.Sprintf("core %d: SB rollback out of order", c.id))
+			}
+			c.sb[e.sb%int64(len(c.sb))] = sbEntry{}
+			c.sbTail--
+		}
+		if e.aq >= 0 {
+			a := &c.aq[e.aq%int64(len(c.aq))]
+			line, wasLocked := a.line, a.locked
+			*a = aqEntry{}
+			c.aqTail--
+			if wasLocked {
+				released = append(released, line)
+			}
+		}
+		if e.in.Kind == trace.Fence || (e.in.Kind == trace.Atomic && c.cfg.Core.FencedAtomics && e.in.LocksLine()) {
+			c.removeFence(e.id)
+		}
+		if c.fetchHoldBy == e.id {
+			c.fetchHoldBy = 0
+		}
+		e.valid = false
+		e.token++
+	}
+	c.robTail = pos
+
+	// Rebuild the rename table from the surviving window.
+	c.rename = [trace.NumRegs]depRef{}
+	for p := c.robHead; p < c.robTail; p++ {
+		e := c.entry(p)
+		if e.in.Dst != 0 {
+			c.rename[e.in.Dst] = depRef{slot: c.slotOf(p), id: e.id}
+		}
+	}
+
+	c.fetchIdx = int(refetch)
+	c.fetchFreeAt = c.now + uint64(c.cfg.Core.RedirectPenalty)
+
+	for _, line := range released {
+		c.mem.LockReleased(line)
+	}
+}

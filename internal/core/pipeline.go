@@ -1,0 +1,604 @@
+package core
+
+import (
+	"fmt"
+
+	"rowsim/internal/config"
+	"rowsim/internal/trace"
+)
+
+// Tick advances the core by one cycle. Stages run back to front so an
+// instruction moves at most one stage per cycle.
+func (c *Core) Tick(cycle uint64) {
+	if c.done {
+		return
+	}
+	c.now = cycle
+	c.memPortsUsed = 0
+	c.processWheel()
+	c.commit()
+	c.drainSB()
+	c.checkOrderWait()
+	c.checkLazy()
+	c.issue()
+	c.dispatch()
+	c.checkDone()
+}
+
+// processWheel drains this cycle's completion events.
+func (c *Core) processWheel() {
+	bucket := c.now % wheelSize
+	evs := c.wheel[bucket]
+	if len(evs) == 0 {
+		return
+	}
+	c.wheel[bucket] = evs[:0]
+	for _, ev := range evs {
+		e := c.entryBySlot(ev.slot, ev.id)
+		if e == nil || e.token != ev.token {
+			continue // flushed or cancelled
+		}
+		switch ev.kind {
+		case evALUDone:
+			c.complete(e, ev.slot)
+		case evLoadAGU:
+			c.loadAfterAGU(e, ev.slot)
+		case evStoreAGU:
+			c.storeAfterAGU(e, ev.slot)
+		case evAtomicAGU:
+			c.atomicAfterAGU(e, ev.slot)
+		case evAtomicOp:
+			c.complete(e, ev.slot)
+		case evForwarded:
+			if e.lq >= 0 {
+				c.lq[e.lq%int64(len(c.lq))].done = true
+			}
+			c.complete(e, ev.slot)
+		case evAtomicRetry:
+			c.tryLock(e, ev.slot)
+		case evAtomicFwdValue:
+			c.forwardValue(e)
+		}
+	}
+}
+
+// complete marks an instruction executed and wakes its dependents.
+func (c *Core) complete(e *robEntry, slot uint32) {
+	e.st = sCompleted
+	e.completeAt = c.now
+	e.valueReady = true
+	c.wakeDependents(e)
+
+	if e.mispred && c.fetchHoldBy == e.id {
+		c.fetchHoldBy = 0
+		c.fetchFreeAt = c.now + uint64(c.cfg.Core.RedirectPenalty)
+	}
+}
+
+// wakeDependents releases register consumers of this instruction.
+func (c *Core) wakeDependents(e *robEntry) {
+	for _, d := range e.deps {
+		de := c.entryBySlot(d.slot, d.id)
+		if de == nil || de.srcPending == 0 {
+			continue
+		}
+		de.srcPending--
+		if de.srcPending == 0 && de.st == sWaiting {
+			c.makeReady(de, d.slot)
+		}
+	}
+	e.deps = e.deps[:0]
+}
+
+// forwardValue makes an atomic's result visible to dependents before
+// the lock completes (the RMW data came from an older store by
+// forwarding, Section IV-E).
+func (c *Core) forwardValue(e *robEntry) {
+	if e.valueReady {
+		return
+	}
+	e.valueReady = true
+	c.wakeDependents(e)
+}
+
+// makeReady routes a dependency-resolved instruction to the right
+// queue: the ready queue, or straight to the lazy-wait list for
+// atomics issued lazily without the early address-calculation pass.
+func (c *Core) makeReady(e *robEntry, slot uint32) {
+	if e.in.Kind == trace.Atomic && e.lazy && !c.cfg.EarlyAddrCalc {
+		e.st = sWaitLazy
+		c.lazyWait = append(c.lazyWait, depRef{slot: slot, id: e.id})
+		return
+	}
+	if e.in.Kind == trace.Fence {
+		return // fences complete at the ROB head
+	}
+	e.st = sReady
+	c.readyQ = append(c.readyQ, depRef{slot: slot, id: e.id})
+}
+
+// commit retires completed instructions in order.
+func (c *Core) commit() {
+	width := c.cfg.Core.CommitWidth
+	for n := 0; n < width && c.robHead < c.robTail; n++ {
+		e := c.entry(c.robHead)
+		if e.in.Kind == trace.Fence && e.st != sCompleted {
+			// A fence completes at the head once every OLDER store
+			// has drained. Younger stores may already occupy the SB
+			// (they dispatched behind the fence) — they cannot drain
+			// before the fence commits, so waiting for a fully empty
+			// SB would deadlock.
+			olderDrained := c.sbHead == c.sbTail || c.sb[c.sbHead%int64(len(c.sb))].id > e.id
+			if e.srcPending == 0 && olderDrained {
+				c.complete(e, c.slotOf(c.robHead))
+				c.removeFence(e.id)
+				c.wakeFenceBlocked()
+			} else {
+				break
+			}
+		}
+		if e.st != sCompleted {
+			break
+		}
+		if e.in.Kind == trace.Atomic && e.sb >= 0 && e.sb != c.sbHead {
+			// Total order for atomics: drain the SB before leaving
+			// the ROB (Free Atomics, Section II-B).
+			break
+		}
+		// Retire.
+		switch e.in.Kind {
+		case trace.Load:
+			if e.lq != c.lqHead {
+				panic(fmt.Sprintf("core %d: LQ head mismatch (%d != %d)", c.id, e.lq, c.lqHead))
+			}
+			c.lq[c.lqHead%int64(len(c.lq))] = lqEntry{}
+			c.lqHead++
+		case trace.Store:
+			c.sb[e.sb%int64(len(c.sb))].committed = true
+		case trace.Atomic:
+			if e.lq != c.lqHead {
+				panic(fmt.Sprintf("core %d: LQ head mismatch at atomic (%d != %d)", c.id, e.lq, c.lqHead))
+			}
+			c.lq[c.lqHead%int64(len(c.lq))] = lqEntry{}
+			c.lqHead++
+			c.sb[e.sb%int64(len(c.sb))].committed = true
+			if e.in.LocksLine() {
+				c.Stats.Atomics++
+			}
+		}
+		e.valid = false
+		c.robHead++
+		c.Stats.Committed++
+	}
+}
+
+// drainSB retires up to two store-buffer entries per cycle (two store
+// ports): committed stores write to the L1D in order; atomic
+// store_unlocks additionally clear their AQ entry and release the
+// cacheline lock.
+func (c *Core) drainSB() {
+	for n := 0; n < 2; n++ {
+		if c.sbHead == c.sbTail || c.drainBusy {
+			return
+		}
+		h := &c.sb[c.sbHead%int64(len(c.sb))]
+		if !h.committed || !h.addrReady {
+			return
+		}
+		if h.noWrite {
+			// Far atomic: the bank already performed the write.
+			*h = sbEntry{}
+			c.sbHead++
+			continue
+		}
+		if !c.mem.StoreComplete(h.line) {
+			// Need write permission first.
+			c.drainBusy = true
+			c.mem.Access(c.sbDrainTag(), h.line, true)
+			return
+		}
+		if h.isAtomic {
+			c.unlockAtomic(h)
+		}
+		*h = sbEntry{}
+		c.sbHead++
+	}
+}
+
+func (c *Core) sbDrainTag() uint64 { return 1<<63 | uint64(c.sbHead) }
+
+// unlockAtomic clears the AQ head for a draining store_unlock, trains
+// the contention predictor and releases any stalled external request.
+func (c *Core) unlockAtomic(h *sbEntry) {
+	if c.aqHead == c.aqTail {
+		return // non-locking RMW: no AQ entry
+	}
+	a := &c.aq[c.aqHead%int64(len(c.aq))]
+	if a.id != h.id {
+		// The SB entry belongs to a non-locking RMW dispatched while
+		// locking atomics are also in flight.
+		return
+	}
+	line := a.line
+	wasLocked := a.locked
+	if a.contended {
+		c.Stats.ContendedAtomics++
+	}
+	if a.locked {
+		if debugLock && c.id == 0 {
+			fmt.Printf("[%d] core0 UNLOCK line=%#x id=%d held=%d\n", c.now, a.line, a.id, c.now-a.lockAt)
+		}
+		c.Stats.LockToUnlock.Observe(float64(c.now - a.lockAt))
+		c.Stats.LockHold.Observe(float64(c.now - a.lockAt))
+	}
+	if a.trainable && c.cp != nil {
+		c.cp.Train(a.pc, a.predContended, a.contended)
+	}
+	if c.cfg.Core.FencedAtomics {
+		c.removeFence(a.id)
+		c.wakeFenceBlocked()
+	}
+	*a = aqEntry{}
+	c.aqHead++
+	if wasLocked {
+		c.mem.LockReleased(line)
+		c.wakeLockWaiters(line)
+	}
+}
+
+// checkOrderWait retries atomics whose lock acquisition was deferred
+// by per-core lock ordering, once every older atomic has locked.
+func (c *Core) checkOrderWait() {
+	if len(c.orderWait) == 0 {
+		return
+	}
+	var wake []depRef
+	kept := c.orderWait[:0]
+	for _, ref := range c.orderWait {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitLock {
+			continue
+		}
+		if c.olderUnlockedAtomic(e.id) {
+			kept = append(kept, ref)
+			continue
+		}
+		wake = append(wake, ref)
+	}
+	c.orderWait = kept
+	for _, ref := range wake {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitLock {
+			continue
+		}
+		e.st = sIssued
+		c.tryLock(e, ref.slot)
+	}
+}
+
+// checkLazy issues atomics whose lazy conditions are now met: oldest
+// memory instruction (head of the LQ) and a drained SB (the atomic's
+// own store_unlock entry at the SB head).
+func (c *Core) checkLazy() {
+	if len(c.lazyWait) == 0 {
+		return
+	}
+	kept := c.lazyWait[:0]
+	for _, ref := range c.lazyWait {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitLazy {
+			continue
+		}
+		if e.srcPending != 0 || !c.lazyReady(e) || c.memPortsUsed >= c.cfg.Core.MemPorts {
+			kept = append(kept, ref)
+			continue
+		}
+		c.memPortsUsed++
+		e.st = sIssued
+		if !e.addrCalcDone {
+			e.token++
+			c.schedule(c.cfg.Core.AGULatency, evAtomicAGU, ref.slot, e.id, e.token)
+		} else {
+			c.tryLock(e, ref.slot)
+		}
+	}
+	c.lazyWait = kept
+}
+
+func (c *Core) lazyReady(e *robEntry) bool {
+	return e.lq == c.lqHead && e.sb == c.sbHead
+}
+
+// fenceBlocks reports whether an uncompleted fence older than id is
+// in flight (younger memory operations must not issue past it).
+func (c *Core) fenceBlocks(id uint64) bool {
+	return len(c.fenceIDs) > 0 && c.fenceIDs[0] < id
+}
+
+func (c *Core) removeFence(id uint64) {
+	for i, f := range c.fenceIDs {
+		if f == id {
+			c.fenceIDs = append(c.fenceIDs[:i], c.fenceIDs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (c *Core) wakeFenceBlocked() {
+	if len(c.fenceBlocked) == 0 {
+		return
+	}
+	for _, ref := range c.fenceBlocked {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitStore {
+			continue
+		}
+		e.st = sReady
+		c.readyQ = append(c.readyQ, ref)
+	}
+	c.fenceBlocked = c.fenceBlocked[:0]
+}
+
+func (c *Core) wakeLockWaiters(line uint64) {
+	if len(c.lockWait) == 0 {
+		return
+	}
+	// Rebuild the list before re-issuing: tryLock may push a waiter
+	// right back onto it.
+	var wake []depRef
+	kept := c.lockWait[:0]
+	for _, ref := range c.lockWait {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitLock {
+			continue
+		}
+		if e.line == line {
+			wake = append(wake, ref)
+		} else {
+			kept = append(kept, ref)
+		}
+	}
+	c.lockWait = kept
+	for _, ref := range wake {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sWaitLock {
+			continue
+		}
+		e.st = sIssued
+		c.tryLock(e, ref.slot)
+	}
+}
+
+// issue moves ready instructions into execution, bounded by the issue
+// width and L1D ports.
+func (c *Core) issue() {
+	budget := c.cfg.Core.IssueWidth
+	q := c.readyQ
+	kept := q[:0]
+	for i, ref := range q {
+		if budget == 0 {
+			kept = append(kept, q[i:]...)
+			break
+		}
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e == nil || e.st != sReady {
+			continue
+		}
+		if e.in.IsMem() {
+			if c.fenceBlocks(e.id) {
+				e.st = sWaitStore
+				c.fenceBlocked = append(c.fenceBlocked, ref)
+				continue
+			}
+			if c.memPortsUsed >= c.cfg.Core.MemPorts {
+				kept = append(kept, ref)
+				continue
+			}
+			c.memPortsUsed++
+		}
+		budget--
+		e.st = sIssued
+		e.token++
+		co := &c.cfg.Core
+		switch e.in.Kind {
+		case trace.IntOp:
+			c.schedule(co.IntALULatency, evALUDone, ref.slot, e.id, e.token)
+		case trace.IntMul:
+			c.schedule(co.IntMulLatency, evALUDone, ref.slot, e.id, e.token)
+		case trace.FPOp:
+			c.schedule(co.FPLatency, evALUDone, ref.slot, e.id, e.token)
+		case trace.Branch:
+			c.schedule(co.IntALULatency, evALUDone, ref.slot, e.id, e.token)
+		case trace.Load:
+			c.schedule(co.AGULatency, evLoadAGU, ref.slot, e.id, e.token)
+		case trace.Store:
+			c.schedule(co.AGULatency, evStoreAGU, ref.slot, e.id, e.token)
+		case trace.Atomic:
+			c.schedule(co.AGULatency, evAtomicAGU, ref.slot, e.id, e.token)
+		default:
+			panic(fmt.Sprintf("core %d: cannot issue %s", c.id, e.in))
+		}
+	}
+	c.readyQ = kept
+}
+
+// dispatch fetches, renames and allocates new instructions.
+func (c *Core) dispatch() {
+	if c.fetchHoldBy != 0 || c.now < c.fetchFreeAt {
+		return
+	}
+	for n := 0; n < c.cfg.Core.FetchWidth; n++ {
+		if c.fetchIdx >= len(c.prog) || c.robFull() {
+			return
+		}
+		in := &c.prog[c.fetchIdx]
+		// Instruction cache: a miss on a new fetch line stalls the
+		// front end while the line fills from the L2. A next-line
+		// prefetcher hides sequential misses, so only discontinuous
+		// fetch (branch targets, template wrap-around) pays.
+		if line := in.PC & c.l1iLineMask; line != c.l1iLastLine {
+			sequential := line == c.l1iLastLine+uint64(c.cfg.Mem.LineBytes)
+			c.l1iLastLine = line
+			if c.l1i.Lookup(line, true) == nil {
+				c.l1i.Insert(line, 0)
+				c.l1iMisses++
+				if !sequential {
+					c.fetchFreeAt = c.now + uint64(c.cfg.Mem.L2.HitCycles)
+					return
+				}
+			}
+		}
+		// Structural hazards.
+		switch in.Kind {
+		case trace.Load:
+			if c.lqTail-c.lqHead >= int64(len(c.lq)) {
+				return
+			}
+		case trace.Store:
+			if c.sbTail-c.sbHead >= int64(len(c.sb)) {
+				return
+			}
+		case trace.Atomic:
+			if c.lqTail-c.lqHead >= int64(len(c.lq)) || c.sbTail-c.sbHead >= int64(len(c.sb)) {
+				return
+			}
+			if in.LocksLine() && c.aqTail-c.aqHead >= int64(len(c.aq)) {
+				return
+			}
+		}
+		c.dispatchOne(in)
+		c.fetchIdx++
+		if c.fetchHoldBy != 0 {
+			return // mispredicted branch: stall the front end
+		}
+	}
+}
+
+func (c *Core) dispatchOne(in *trace.Instr) {
+	pos := c.robTail
+	slot := c.slotOf(pos)
+	id := c.nextID
+	c.nextID++
+	e := &c.rob[slot]
+	*e = robEntry{
+		valid:      true,
+		id:         id,
+		pi:         int32(c.fetchIdx),
+		in:         in,
+		st:         sWaiting,
+		dispatchAt: c.now,
+		lq:         -1,
+		sb:         -1,
+		aq:         -1,
+		deps:       e.deps[:0], // reuse backing array
+		token:      e.token + 1,
+	}
+	c.robTail++
+
+	// Rename sources.
+	for _, r := range [2]trace.Reg{in.Src1, in.Src2} {
+		if r == 0 {
+			continue
+		}
+		ref := c.rename[r]
+		if ref.id == 0 {
+			continue
+		}
+		p := c.entryBySlot(ref.slot, ref.id)
+		if p == nil || p.st == sCompleted || p.valueReady {
+			continue
+		}
+		e.srcPending++
+		p.deps = append(p.deps, depRef{slot: slot, id: id})
+	}
+	if in.Dst != 0 {
+		c.rename[in.Dst] = depRef{slot: slot, id: id}
+	}
+
+	switch in.Kind {
+	case trace.Branch:
+		c.Stats.Branches++
+		if c.bp.PredictAndTrain(in.PC, in.Taken) {
+			c.Stats.Mispredicts++
+			e.mispred = true
+			c.fetchHoldBy = id
+		}
+	case trace.Fence:
+		c.fenceIDs = append(c.fenceIDs, id)
+	case trace.Load:
+		e.lq = c.lqTail
+		c.lq[c.lqTail%int64(len(c.lq))] = lqEntry{id: id, slot: slot}
+		c.lqTail++
+		e.waitStoreID = c.ss.DispatchLoad(in.PC)
+	case trace.Store:
+		e.sb = c.sbTail
+		c.sb[c.sbTail%int64(len(c.sb))] = sbEntry{id: id, slot: slot}
+		c.sbTail++
+		c.ss.DispatchStore(in.PC, id)
+	case trace.Atomic:
+		c.dispatchAtomic(e, in, slot, id)
+	}
+
+	if e.srcPending == 0 {
+		c.makeReady(e, slot)
+	}
+}
+
+// dispatchAtomic allocates the atomic's LQ/SB/AQ entries and decides
+// its execution policy (the RoW prediction happens here, at
+// allocation, using the PC).
+func (c *Core) dispatchAtomic(e *robEntry, in *trace.Instr, slot uint32, id uint64) {
+	e.lq = c.lqTail
+	c.lq[c.lqTail%int64(len(c.lq))] = lqEntry{id: id, slot: slot, isAtomic: true}
+	c.lqTail++
+	e.sb = c.sbTail
+	c.sb[c.sbTail%int64(len(c.sb))] = sbEntry{id: id, slot: slot, isAtomic: true}
+	c.sbTail++
+
+	if !in.LocksLine() {
+		return // plain RMW: no AQ entry, no policy decision
+	}
+
+	switch c.cfg.Policy {
+	case config.PolicyEager:
+		e.lazy = false
+	case config.PolicyLazy, config.PolicyFar:
+		e.lazy = true
+	case config.PolicyRoW:
+		e.predContended = c.cp.Predict(in.PC)
+		e.lazy = e.predContended
+		if e.lazy {
+			c.Stats.PredictedLazy++
+		}
+	}
+	if c.cfg.Core.FencedAtomics {
+		e.lazy = true
+		c.fenceIDs = append(c.fenceIDs, id)
+	}
+
+	if c.cfg.Policy == config.PolicyFar {
+		// Far atomics never lock a line: no AQ entry, and the RMW's
+		// store side needs no local write at drain time.
+		c.sb[e.sb%int64(len(c.sb))].noWrite = true
+		return
+	}
+
+	e.aq = c.aqTail
+	c.aq[c.aqTail%int64(len(c.aq))] = aqEntry{
+		id:            id,
+		slot:          slot,
+		pc:            in.PC,
+		predContended: e.predContended,
+		trainable:     c.cfg.Policy == config.PolicyRoW,
+	}
+	c.aqTail++
+}
+
+// checkDone latches completion once the whole program has committed
+// and the buffers have drained.
+func (c *Core) checkDone() {
+	if c.fetchIdx >= len(c.prog) && c.robHead == c.robTail && c.sbHead == c.sbTail {
+		c.done = true
+		c.finishedAt = c.now
+	}
+}

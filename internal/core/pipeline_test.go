@@ -1,0 +1,192 @@
+package core
+
+import (
+	"testing"
+
+	"rowsim/internal/cache"
+	"rowsim/internal/coherence"
+	"rowsim/internal/config"
+	"rowsim/internal/trace"
+)
+
+// nullNet satisfies coherence.Network; white-box pipeline tests never
+// need real transport (everything under test stays cache-resident).
+type nullNet struct{}
+
+func (nullNet) Send(*coherence.Msg)              {}
+func (nullNet) SendAfter(*coherence.Msg, uint64) {}
+
+// newWiredCore builds a core with a real private cache on a null
+// network. Lines in warm are pre-installed in M state so memory
+// operations hit locally and the pipeline can be observed in
+// isolation.
+func newWiredCore(t *testing.T, cfg *config.Config, prog trace.Program, warm []uint64) *Core {
+	t.Helper()
+	c := New(0, cfg, prog)
+	pc := cache.NewPrivate(0, cfg, nullNet{}, c, func(uint64) int { return 1 })
+	for _, line := range warm {
+		pc.Warm(line, cache.StateM)
+	}
+	c.AttachMemory(pc)
+	return c
+}
+
+func runCycles(c *Core, from, n uint64) {
+	for cyc := from; cyc < from+n; cyc++ {
+		c.Mem().Tick(cyc)
+		c.Tick(cyc)
+	}
+}
+
+func smallCoreCfg() *config.Config {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	return cfg
+}
+
+func TestDispatchStallsOnROBFull(t *testing.T) {
+	cfg := smallCoreCfg()
+	cfg.Core.ROBSize = 8
+	// A long-latency head (cold load on a null network never
+	// completes) blocks commit; dispatch must stop at ROB capacity.
+	prog := trace.Program{{PC: 4, Kind: trace.Load, Dst: 1, Addr: 0x99990000, Size: 8}}
+	for i := 0; i < 40; i++ {
+		prog = append(prog, trace.Instr{PC: uint64(8 + 4*i), Kind: trace.IntOp, Dst: 2})
+	}
+	c := newWiredCore(t, cfg, prog, nil)
+	runCycles(c, 1, 200)
+	if got := c.robTail - c.robHead; got != 8 {
+		t.Fatalf("ROB occupancy %d, want capacity 8", got)
+	}
+	if c.done {
+		t.Fatal("core finished with an unsatisfiable load")
+	}
+}
+
+func TestDispatchStallsOnAQFull(t *testing.T) {
+	cfg := smallCoreCfg()
+	cfg.Core.AQSize = 2
+	var prog trace.Program
+	for i := 0; i < 6; i++ {
+		prog = append(prog, trace.Instr{
+			PC: uint64(4 + 4*i), Kind: trace.Atomic, Dst: 1,
+			Addr: 0x99990000, Size: 8, AtomicOp: trace.FAA, // never completes: null net
+		})
+	}
+	c := newWiredCore(t, cfg, prog, nil)
+	runCycles(c, 1, 100)
+	if got := c.aqTail - c.aqHead; got != 2 {
+		t.Fatalf("AQ occupancy %d, want capacity 2", got)
+	}
+}
+
+func TestChainExecutesInOrder(t *testing.T) {
+	cfg := smallCoreCfg()
+	// r1 <- op; r2 <- op(r1); r3 <- op(r2): strict chain, one ALU
+	// completion per cycle at best.
+	prog := trace.Program{
+		{PC: 4, Kind: trace.IntOp, Dst: 1},
+		{PC: 8, Kind: trace.IntOp, Src1: 1, Dst: 2},
+		{PC: 12, Kind: trace.IntOp, Src1: 2, Dst: 3},
+	}
+	c := newWiredCore(t, cfg, prog, nil)
+	runCycles(c, 1, 50)
+	if !c.done {
+		t.Fatal("chain did not finish")
+	}
+	// Lower bound: dispatch (1) + three dependent 1-cycle ops.
+	if c.finishedAt < 4 {
+		t.Fatalf("finished at %d, impossibly fast for a 3-deep chain", c.finishedAt)
+	}
+}
+
+func TestStoreThenLoadForwardsLocally(t *testing.T) {
+	cfg := smallCoreCfg()
+	prog := trace.Program{
+		{PC: 4, Kind: trace.Store, Src1: 1, Addr: 0x40000100, Size: 8},
+		{PC: 8, Kind: trace.Load, Dst: 2, Addr: 0x40000100, Size: 8},
+	}
+	c := newWiredCore(t, cfg, prog, []uint64{0x40000100 &^ 63})
+	runCycles(c, 1, 100)
+	if !c.done {
+		t.Fatal("did not finish")
+	}
+	if c.Stats.LoadForwards != 1 {
+		t.Fatalf("forwards = %d, want 1", c.Stats.LoadForwards)
+	}
+}
+
+func TestFlushFromRollsBackRings(t *testing.T) {
+	cfg := smallCoreCfg()
+	var prog trace.Program
+	lines := []uint64{}
+	for i := 0; i < 12; i++ {
+		addr := uint64(0x40000000 + i*64)
+		lines = append(lines, addr)
+		prog = append(prog,
+			trace.Instr{PC: uint64(4 + 16*i), Kind: trace.Load, Dst: 1, Addr: addr, Size: 8},
+			trace.Instr{PC: uint64(8 + 16*i), Kind: trace.Store, Src1: 1, Addr: addr, Size: 8},
+			trace.Instr{PC: uint64(12 + 16*i), Kind: trace.Atomic, Dst: 2, Addr: addr, Size: 8, AtomicOp: trace.FAA},
+		)
+	}
+	c := newWiredCore(t, cfg, prog, lines)
+	// Run just past the initial I-cache fill so a window is in
+	// flight, then flush from the middle of the ROB.
+	runCycles(c, 1, 16)
+	if c.robTail-c.robHead < 8 {
+		t.Fatalf("window too small to test flush: %d", c.robTail-c.robHead)
+	}
+	cut := c.robHead + (c.robTail-c.robHead)/2
+	cutEntry := c.entry(cut)
+	wantFetch := int(cutEntry.pi)
+	c.flushFrom(cut)
+	if c.robTail != cut {
+		t.Fatalf("robTail = %d, want %d", c.robTail, cut)
+	}
+	if c.fetchIdx != wantFetch {
+		t.Fatalf("fetchIdx = %d, want %d", c.fetchIdx, wantFetch)
+	}
+	// Ring invariants: every surviving entry's LQ/SB/AQ positions are
+	// below the rolled-back tails.
+	for p := c.robHead; p < c.robTail; p++ {
+		e := c.entry(p)
+		if e.lq >= c.lqTail || e.sb >= c.sbTail || (e.aq >= 0 && e.aq >= c.aqTail) {
+			t.Fatalf("entry %d references flushed queue slots", p)
+		}
+	}
+	// The machine must still run to completion afterwards.
+	runCycles(c, 17, 4000)
+	if !c.done {
+		t.Fatalf("core wedged after flush: %s", c)
+	}
+	if c.Stats.Committed != uint64(len(prog)) {
+		t.Fatalf("committed %d, want %d", c.Stats.Committed, len(prog))
+	}
+}
+
+func TestRenameRebuiltAfterFlush(t *testing.T) {
+	cfg := smallCoreCfg()
+	prog := trace.Program{
+		{PC: 4, Kind: trace.IntMul, Dst: 7},          // slow producer
+		{PC: 8, Kind: trace.IntOp, Src1: 7, Dst: 8},  // consumer
+		{PC: 12, Kind: trace.IntOp, Dst: 7},          // re-writer (will be flushed)
+		{PC: 16, Kind: trace.IntOp, Src1: 7, Dst: 9}, // consumer of re-writer
+	}
+	c := newWiredCore(t, cfg, prog, nil)
+	runCycles(c, 1, 13) // first fetch pays the I-cache fill
+	if c.robTail-c.robHead != 4 {
+		t.Fatalf("dispatched %d", c.robTail-c.robHead)
+	}
+	// Flush the re-writer and its consumer; the rename table must
+	// point back at the original producer of r7.
+	c.flushFrom(c.robHead + 2)
+	ref := c.rename[7]
+	e := c.entryBySlot(ref.slot, ref.id)
+	if e == nil || e.in.PC != 4 {
+		t.Fatalf("rename[7] does not point at the surviving producer")
+	}
+	runCycles(c, 14, 2000)
+	if !c.done {
+		t.Fatal("did not finish after flush")
+	}
+}

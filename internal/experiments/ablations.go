@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rowsim/internal/config"
+	"rowsim/internal/stats"
+)
+
+// AblationEntries evaluates the predictor-size trade-off Section IV-D
+// discusses: with few entries, contended and non-contended atomics
+// alias and the wrong policy is applied (a single shared entry
+// degrades to roughly eager performance on average).
+func AblationEntries(r *Runner) *stats.Table {
+	sizes := []int{1, 4, 16, 64, 256}
+	headers := []string{"workload"}
+	for _, n := range sizes {
+		headers = append(headers, fmt.Sprintf("%d-entries", n))
+	}
+	t := &stats.Table{
+		Title:   "Ablation — RoW (RW+Dir_U/D) predictor table size, normalized to eager",
+		Headers: headers,
+	}
+	sums := make([][]float64, len(sizes))
+	for _, wl := range r.opt.Workloads {
+		e := r.Run(wl, VarEager)
+		row := []string{wl}
+		for i, n := range sizes {
+			v := VarDirUD
+			v.Name = fmt.Sprintf("RW+Dir_U/D(%de)", n)
+			v.PredEntries = n
+			res := r.Run(wl, v)
+			norm := Norm(res.Cycles, e.Cycles)
+			sums[i] = append(sums[i], norm)
+			row = append(row, stats.F(norm))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for i := range sizes {
+		row = append(row, stats.F(stats.GeoMean(sums[i])))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// AblationUpdate compares the counter-update rules: UpDown, Saturate
+// on Contention, and the +2/-1 rule the paper evaluated and
+// discarded.
+func AblationUpdate(r *Runner) *stats.Table {
+	kinds := []config.PredictorKind{config.PredUpDown, config.PredSaturate, config.PredTwoUpOneDown}
+	headers := []string{"workload"}
+	for _, k := range kinds {
+		headers = append(headers, k.String())
+	}
+	t := &stats.Table{
+		Title:   "Ablation — predictor update rule (RW+Dir), normalized to eager",
+		Headers: headers,
+	}
+	sums := make([][]float64, len(kinds))
+	for _, wl := range r.opt.Workloads {
+		e := r.Run(wl, VarEager)
+		row := []string{wl}
+		for i, k := range kinds {
+			v := rowVariant("RW+Dir_"+k.String(), config.DetectRWDir, k, false)
+			res := r.Run(wl, v)
+			norm := Norm(res.Cycles, e.Cycles)
+			sums[i] = append(sums[i], norm)
+			row = append(row, stats.F(norm))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for i := range kinds {
+		row = append(row, stats.F(stats.GeoMean(sums[i])))
+	}
+	t.AddRow(row...)
+	return t
+}

@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"rowsim/internal/config"
+)
+
+// tinyRunner keeps experiment tests fast: few cores, short traces,
+// a contended and a non-contended workload.
+func tinyRunner() *Runner {
+	return NewRunner(Options{
+		Cores:     4,
+		Instrs:    2500,
+		Seed:      1,
+		Workloads: []string{"canneal", "sps"},
+	})
+}
+
+func TestVariantConfigs(t *testing.T) {
+	if VarEager.Config(4).Policy != config.PolicyEager {
+		t.Fatal("eager variant policy wrong")
+	}
+	if VarLazy.Config(4).EarlyAddrCalc {
+		t.Fatal("lazy baseline must not early-calculate addresses")
+	}
+	if VarEWUD.Config(4).EarlyAddrCalc {
+		t.Fatal("EW variant must not early-calculate addresses")
+	}
+	if !VarRWUD.Config(4).EarlyAddrCalc {
+		t.Fatal("RW variant requires the early address pass")
+	}
+	cfg := VarDirSatFwd.Config(4)
+	if !cfg.ForwardAtomics || cfg.RoW.Predictor != config.PredSaturate || cfg.RoW.Detection != config.DetectRWDir {
+		t.Fatal("RW+Dir_Sat+Fwd variant mis-assembled")
+	}
+	v := VarDirUD
+	v.Threshold = -2
+	if got := v.Config(4).RoW.LatencyThreshold; got >= 0 {
+		t.Fatalf("infinite threshold encoded as %d", got)
+	}
+	v.Threshold = 1000
+	if got := v.Config(4).RoW.LatencyThreshold; got != 1000 {
+		t.Fatalf("explicit threshold = %d", got)
+	}
+	v.PredEntries = 4
+	if got := v.Config(4).RoW.PredictorEntries; got != 4 {
+		t.Fatalf("entries override = %d", got)
+	}
+}
+
+func TestRunnerMemoizes(t *testing.T) {
+	r := tinyRunner()
+	runs := 0
+	r.Progress = func(string) { runs++ }
+	r.Run("sps", VarEager)
+	r.Run("sps", VarEager)
+	if runs != 1 {
+		t.Fatalf("memoization broken: %d runs", runs)
+	}
+	r.Run("sps", VarLazy)
+	if runs != 2 {
+		t.Fatalf("distinct variant not run: %d", runs)
+	}
+}
+
+func TestFig1ShapesHold(t *testing.T) {
+	r := tinyRunner()
+	tab := Fig1(r)
+	if len(tab.Rows) != 3 { // 2 workloads + geomean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	out := tab.String()
+	if !strings.Contains(out, "canneal") || !strings.Contains(out, "sps") {
+		t.Fatalf("missing rows:\n%s", out)
+	}
+	// The headline shape at any scale: eager beats lazy on canneal.
+	e := r.Run("canneal", VarEager)
+	l := r.Run("canneal", VarLazy)
+	if l.Cycles <= e.Cycles {
+		t.Fatalf("canneal: lazy (%d) not slower than eager (%d)", l.Cycles, e.Cycles)
+	}
+}
+
+func TestFig5IntensityOrdering(t *testing.T) {
+	r := tinyRunner()
+	sps := r.Run("sps", VarEager)
+	can := r.Run("canneal", VarEager)
+	if sps.AtomicsPer10K <= can.AtomicsPer10K {
+		t.Fatalf("sps intensity (%.1f) not above canneal (%.1f)", sps.AtomicsPer10K, can.AtomicsPer10K)
+	}
+	if sps.ContendedFrac <= can.ContendedFrac {
+		t.Fatalf("sps contention (%.2f) not above canneal (%.2f)", sps.ContendedFrac, can.ContendedFrac)
+	}
+	if tab := Fig5(r); len(tab.Rows) != 2 {
+		t.Fatalf("fig5 rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFig6Breakdown(t *testing.T) {
+	r := tinyRunner()
+	tab := Fig6(r)
+	if len(tab.Headers) != 7 {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+	// Lazy lock windows are minimal by construction.
+	l := r.Run("canneal", VarLazy)
+	if l.LockToUnlock > 20 {
+		t.Fatalf("lazy lock->unlock = %.0f, want small", l.LockToUnlock)
+	}
+}
+
+func TestFig2FenceShapes(t *testing.T) {
+	r := NewRunner(Options{Cores: 1, Instrs: 2000, Seed: 1, Workloads: []string{"sps"}})
+	tab := Fig2(r)
+	if len(tab.Rows) != 12 {
+		t.Fatalf("fig2 rows = %d, want 12", len(tab.Rows))
+	}
+	// Parse the table back for the FAA rows.
+	get := func(name string) (unfenced, fenced float64) {
+		for _, row := range tab.Rows {
+			if row[0] == name {
+				var err1, err2 error
+				unfenced, err1 = strconv.ParseFloat(row[1], 64)
+				fenced, err2 = strconv.ParseFloat(row[2], 64)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("bad row %v", row)
+				}
+				return unfenced, fenced
+			}
+		}
+		t.Fatalf("row %q missing", name)
+		return 0, 0
+	}
+	plainU, _ := get("FAA")
+	lockU, lockF := get("lock FAA")
+	mfenceU, _ := get("FAA +mfence")
+	// Unfenced core: lock prefix nearly free; mfences ruinous.
+	if lockU > plainU*1.4 {
+		t.Fatalf("unfenced core: lock FAA %.1f vs FAA %.1f (should be close)", lockU, plainU)
+	}
+	if mfenceU < plainU*2 {
+		t.Fatalf("unfenced core: mfence cost invisible (%.1f vs %.1f)", mfenceU, plainU)
+	}
+	// Fenced core: the lock prefix alone behaves like a fence.
+	if lockF < lockU*1.5 {
+		t.Fatalf("fenced core not slower on lock FAA: %.1f vs %.1f", lockF, lockU)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	r := tinyRunner()
+	tab := Summary(r)
+	if len(tab.Rows) != 4 {
+		t.Fatalf("summary rows = %d, want 4", len(tab.Rows))
+	}
+}
+
+func TestAblationTables(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 2000, Seed: 1, Workloads: []string{"sps"}})
+	if tab := AblationEntries(r); len(tab.Rows) != 2 {
+		t.Fatalf("entries ablation rows = %d", len(tab.Rows))
+	}
+	if tab := AblationUpdate(r); len(tab.Rows) != 2 {
+		t.Fatalf("update ablation rows = %d", len(tab.Rows))
+	}
+}
+
+func TestTable1(t *testing.T) {
+	out := Table1().String()
+	for _, want := range []string{"512 / 192 / 128", "16 entries", "160 cycles", "StoreSet"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Table I missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig8DetectionWidens(t *testing.T) {
+	r := NewRunner(Options{Cores: 8, Instrs: 3000, Seed: 1, Workloads: []string{"sps"}})
+	tab := Fig8Race(r)
+	if len(tab.Rows) != 2 { // sps + mean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	// Each wider window detects at least as much contention.
+	parse := func(s string) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+		if err != nil {
+			t.Fatalf("bad cell %q", s)
+		}
+		return v
+	}
+	row := tab.Rows[0]
+	ew, rw, dir := parse(row[1]), parse(row[2]), parse(row[3])
+	if ew > rw || rw > dir {
+		t.Fatalf("detection coverage not widening: EW=%.1f RW=%.1f Dir=%.1f", ew, rw, dir)
+	}
+	if dir == 0 {
+		t.Fatal("RW+Dir detected nothing on sps")
+	}
+}
+
+func TestLockTailsTable(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 2000, Seed: 1, Workloads: []string{"sps"}})
+	if tab := LockTails(r); len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestAblationAQ(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 2000, Seed: 1, Workloads: []string{"sps"}})
+	if tab := AblationAQSize(r); len(tab.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestFarVsNearTable(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 2000, Seed: 1, Workloads: []string{"sps"}})
+	tab := FarVsNear(r)
+	if len(tab.Rows) != 2 { // sps + geomean
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Headers) != 5 {
+		t.Fatalf("headers = %v", tab.Headers)
+	}
+}
+
+func TestLockStudyTable(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 2000, Seed: 1})
+	tab := LockStudy(r)
+	if len(tab.Rows) != 3 { // tas, ticket, barrier
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestScalingTable(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 1500, Seed: 1})
+	tab := Scaling(r, []string{"sps"})
+	if len(tab.Rows) != 3 { // 3 core counts
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+}
+
+func TestStabilityTable(t *testing.T) {
+	r := NewRunner(Options{Cores: 4, Instrs: 1500, Seed: 1})
+	tab := Stability(r, []uint64{1, 2}, []string{"sps"})
+	if len(tab.Rows) != 1 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if !strings.Contains(tab.Rows[0][1], "[") {
+		t.Fatalf("no spread reported: %v", tab.Rows[0])
+	}
+}
+
+func TestHardwareCost64Bytes(t *testing.T) {
+	tab := HardwareCost()
+	out := tab.String()
+	if !strings.Contains(out, "64 bytes") {
+		t.Fatalf("hardware cost table does not confirm 64 bytes:\n%s", out)
+	}
+}
+
+func TestNorm(t *testing.T) {
+	if Norm(50, 100) != 0.5 {
+		t.Fatal("norm broken")
+	}
+	if Norm(50, 0) != 0 {
+		t.Fatal("norm by zero")
+	}
+}

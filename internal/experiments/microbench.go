@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"rowsim/internal/config"
+	"rowsim/internal/stats"
+	"rowsim/internal/trace"
+	"rowsim/internal/workload"
+)
+
+// Fig2 reproduces Figure 2: the Section II-A microbenchmark measuring
+// cycles per iteration for FAA/CAS/SWAP, with and without the lock
+// prefix, with and without explicit mfences, on two simulated cores:
+//
+//   - "unfenced" resembles a recent x86 part (Coffee-Lake-like): the
+//     lock prefix costs almost nothing, explicit mfences are ruinous.
+//   - "fenced" resembles an old x86 part (Kentsfield-like): the lock
+//     prefix alone behaves like a fence (roughly doubling cycles per
+//     iteration), and adding mfences changes little for atomics.
+func Fig2(r *Runner) *stats.Table {
+	iterations := r.opt.Instrs / 4
+	if iterations < 500 {
+		iterations = 500
+	}
+	t := &stats.Table{
+		Title:   "Fig. 2 — Microbenchmark cycles/iteration (single thread, cache-exceeding array)",
+		Headers: []string{"variant", "unfenced-core", "fenced-core"},
+	}
+	for _, v := range workload.MicrobenchVariants() {
+		prog := workload.GenerateMicrobench(v, iterations, r.opt.Seed)
+		iters := workload.MicrobenchIterations(prog, v)
+
+		run := func(fenced bool) float64 {
+			cfg := config.Default()
+			cfg.NumCores = 1
+			cfg.Policy = config.PolicyEager
+			cfg.WarmCaches = false // the array must miss: that is the point
+			cfg.MaxCycles = 500_000_000
+			if fenced {
+				// Kentsfield-class core (2007): fenced atomics on a
+				// narrow, shallow machine with little memory-level
+				// parallelism — the configuration under which the
+				// lock prefix roughly doubles cycles per iteration.
+				cfg.Core.FencedAtomics = true
+				cfg.Core.FetchWidth = 4
+				cfg.Core.IssueWidth = 4
+				cfg.Core.CommitWidth = 4
+				cfg.Core.ROBSize = 96
+				cfg.Core.LQSize = 32
+				cfg.Core.SBSize = 20
+				cfg.Core.AQSize = 1
+				cfg.Mem.MSHRs = 2
+			}
+			res := r.RunPrograms(cfg, []trace.Program{prog})
+			return float64(res.Cycles) / float64(iters)
+		}
+		t.AddRow(v.String(), stats.F1(run(false)), stats.F1(run(true)))
+	}
+	return t
+}

@@ -1,0 +1,100 @@
+package experiments
+
+import (
+	"fmt"
+
+	"rowsim/internal/config"
+	"rowsim/internal/stats"
+)
+
+// Fig8Race quantifies the race of Figure 8: contended invalidations
+// often reach a core after its atomic has already unlocked, so each
+// successively wider detection window (EW -> RW -> RW+Dir) observes a
+// larger fraction of the truly contended atomics. The policy is held
+// at eager for every run; only the detector changes.
+func Fig8Race(r *Runner) *stats.Table {
+	t := &stats.Table{
+		Title:   "Fig. 8 evidence — fraction of atomics detected contended, by detection window (eager execution)",
+		Headers: []string{"workload", "EW", "RW", "RW+Dir"},
+	}
+	mk := func(base Variant, name string) Variant {
+		v := base
+		v.Name = name
+		return v
+	}
+	// Detection runs under the eager policy: build eager variants
+	// with each detector (the detector only affects the statistics,
+	// not the schedule, so cycles stay comparable).
+	ew := mk(VarEager, "eager-detect-EW")
+	ew.Detection = config.DetectEW
+	rw := mk(VarEager, "eager-detect-RW")
+	rw.Detection = config.DetectRW
+	dir := mk(VarEager, "eager-detect-RW+Dir")
+	dir.Detection = config.DetectRWDir
+
+	var ews, rws, dirs []float64
+	for _, wl := range r.opt.Workloads {
+		e := r.Run(wl, ew).ContendedFrac
+		w := r.Run(wl, rw).ContendedFrac
+		d := r.Run(wl, dir).ContendedFrac
+		ews = append(ews, e)
+		rws = append(rws, w)
+		dirs = append(dirs, d)
+		t.AddRow(wl, stats.Pct(e), stats.Pct(w), stats.Pct(d))
+	}
+	t.AddRow("mean", stats.Pct(stats.ArithMean(ews)), stats.Pct(stats.ArithMean(rws)), stats.Pct(stats.ArithMean(dirs)))
+	return t
+}
+
+// AblationAQSize sweeps the Atomic Queue depth: too few entries limit
+// the number of in-flight atomics (dispatch stalls), while the
+// paper's 16 entries are enough for every workload.
+func AblationAQSize(r *Runner) *stats.Table {
+	sizes := []int{4, 8, 16, 32}
+	headers := []string{"workload"}
+	for _, n := range sizes {
+		headers = append(headers, fmt.Sprintf("AQ=%d", n))
+	}
+	t := &stats.Table{
+		Title:   "Ablation — Atomic Queue depth under RoW (RW+Dir_U/D), normalized to eager",
+		Headers: headers,
+	}
+	sums := make([][]float64, len(sizes))
+	for _, wl := range r.opt.Workloads {
+		e := r.Run(wl, VarEager)
+		row := []string{wl}
+		for i, n := range sizes {
+			v := VarDirUD
+			v.Name = fmt.Sprintf("RW+Dir_U/D(aq%d)", n)
+			v.AQSize = n
+			res := r.Run(wl, v)
+			norm := Norm(res.Cycles, e.Cycles)
+			sums[i] = append(sums[i], norm)
+			row = append(row, stats.F(norm))
+		}
+		t.AddRow(row...)
+	}
+	row := []string{"geomean"}
+	for i := range sizes {
+		row = append(row, stats.F(stats.GeoMean(sums[i])))
+	}
+	t.AddRow(row...)
+	return t
+}
+
+// LockTails reports the lock-window tail (p99 cycles) under eager,
+// lazy and RoW: the paper's core argument is that eager execution
+// grows exactly this tail on contended lines.
+func LockTails(r *Runner) *stats.Table {
+	t := &stats.Table{
+		Title:   "Lock-window tail — p99 lock-hold cycles",
+		Headers: []string{"workload", "eager", "lazy", "RoW(Sat)"},
+	}
+	for _, wl := range r.opt.Workloads {
+		t.AddRow(wl,
+			stats.F1(r.Run(wl, VarEager).LockHoldP99),
+			stats.F1(r.Run(wl, VarLazy).LockHoldP99),
+			stats.F1(r.Run(wl, VarDirSat).LockHoldP99))
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation: the eager/lazy trade-off (Fig. 1), the fence
+// microbenchmark (Fig. 2), the motivation statistics (Figs. 4-6), the
+// RoW variant comparison (Fig. 9), the threshold sweep (Fig. 10), the
+// miss-latency and accuracy analyses (Figs. 11-12), the forwarding
+// study (Fig. 13) and the headline summary, plus the ablations the
+// design discussion calls out (predictor size and update rule).
+package experiments
+
+import (
+	"fmt"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/trace"
+	"rowsim/internal/workload"
+)
+
+// Options scales the experiments. The zero value picks the paper's
+// 32-core system at a trace length that keeps a full figure run in
+// minutes.
+type Options struct {
+	Cores     int
+	Instrs    int // per-core instructions; 0 = 12000
+	Seed      uint64
+	Workloads []string // default: the 13 atomic-intensive workloads
+}
+
+func (o Options) withDefaults() Options {
+	if o.Cores == 0 {
+		o.Cores = 32
+	}
+	if o.Instrs == 0 {
+		o.Instrs = 12000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Workloads == nil {
+		o.Workloads = workload.AtomicIntensive
+	}
+	return o
+}
+
+// Variant identifies one simulated configuration.
+type Variant struct {
+	Name      string
+	Policy    config.AtomicPolicy
+	Detection config.Detection
+	Predictor config.PredictorKind
+	Forward   bool
+	// Threshold overrides the RW+Dir latency threshold; -1 keeps the
+	// default 400, -2 means "infinite" (disables the Dir detector).
+	Threshold int
+	// PredEntries overrides the predictor table size (0 = 64).
+	PredEntries int
+	// AQSize overrides the Atomic Queue depth (0 = 16).
+	AQSize int
+}
+
+// Baselines and the RoW variants the figures compare.
+var (
+	VarEager = Variant{Name: "Eager", Policy: config.PolicyEager, Threshold: -1}
+	VarLazy  = Variant{Name: "Lazy", Policy: config.PolicyLazy, Threshold: -1}
+
+	VarEagerFwd = Variant{Name: "Eager+Fwd", Policy: config.PolicyEager, Forward: true, Threshold: -1}
+
+	VarEWUD   = rowVariant("EW_U/D", config.DetectEW, config.PredUpDown, false)
+	VarEWSat  = rowVariant("EW_Sat", config.DetectEW, config.PredSaturate, false)
+	VarRWUD   = rowVariant("RW_U/D", config.DetectRW, config.PredUpDown, false)
+	VarRWSat  = rowVariant("RW_Sat", config.DetectRW, config.PredSaturate, false)
+	VarDirUD  = rowVariant("RW+Dir_U/D", config.DetectRWDir, config.PredUpDown, false)
+	VarDirSat = rowVariant("RW+Dir_Sat", config.DetectRWDir, config.PredSaturate, false)
+
+	VarDirUDFwd  = rowVariant("RW+Dir_U/D+Fwd", config.DetectRWDir, config.PredUpDown, true)
+	VarDirSatFwd = rowVariant("RW+Dir_Sat+Fwd", config.DetectRWDir, config.PredSaturate, true)
+)
+
+func rowVariant(name string, d config.Detection, p config.PredictorKind, fwd bool) Variant {
+	return Variant{Name: name, Policy: config.PolicyRoW, Detection: d, Predictor: p, Forward: fwd, Threshold: -1}
+}
+
+// Config materializes the variant into a full system configuration.
+func (v Variant) Config(cores int) *config.Config {
+	cfg := config.Default()
+	cfg.NumCores = cores
+	cfg.Policy = v.Policy
+	cfg.ForwardAtomics = v.Forward
+	cfg.RoW.Detection = v.Detection
+	cfg.RoW.Predictor = v.Predictor
+	// The ready window requires the early address-calculation pass;
+	// EW and the plain baselines do without it (Section IV-B).
+	cfg.EarlyAddrCalc = v.Policy == config.PolicyRoW && v.Detection != config.DetectEW
+	switch v.Threshold {
+	case -1:
+		// keep the default (400)
+	case -2:
+		cfg.RoW.LatencyThreshold = -1 // infinite
+	default:
+		cfg.RoW.LatencyThreshold = v.Threshold
+	}
+	if v.PredEntries > 0 {
+		cfg.RoW.PredictorEntries = v.PredEntries
+	}
+	if v.AQSize > 0 {
+		cfg.Core.AQSize = v.AQSize
+	}
+	cfg.MaxCycles = 500_000_000
+	return cfg
+}
+
+func (v Variant) key() string {
+	return fmt.Sprintf("%s|%d|%d|%d|%v|%d|%d|%d",
+		v.Name, v.Policy, v.Detection, v.Predictor, v.Forward, v.Threshold, v.PredEntries, v.AQSize)
+}
+
+// Runner executes and memoizes simulation runs: several figures share
+// the same eager/lazy/RoW runs.
+type Runner struct {
+	opt   Options
+	cache map[string]sim.Result
+	// Progress, when set, receives a line per completed run.
+	Progress func(msg string)
+}
+
+// NewRunner builds a runner with the given options.
+func NewRunner(opt Options) *Runner {
+	return &Runner{opt: opt.withDefaults(), cache: make(map[string]sim.Result)}
+}
+
+// Options returns the effective (defaulted) options.
+func (r *Runner) Options() Options { return r.opt }
+
+// Run simulates one workload under one variant, memoized.
+func (r *Runner) Run(wl string, v Variant) sim.Result {
+	key := wl + "#" + v.key()
+	if res, ok := r.cache[key]; ok {
+		return res
+	}
+	p := workload.MustGet(wl)
+	progs := workload.Generate(p, r.opt.Cores, r.opt.Instrs, r.opt.Seed)
+	cfg := v.Config(r.opt.Cores)
+	s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	res := s.MustRun()
+	r.cache[key] = res
+	if r.Progress != nil {
+		r.Progress(fmt.Sprintf("ran %-14s %-16s %12d cycles", wl, v.Name, res.Cycles))
+	}
+	return res
+}
+
+// RunPrograms simulates explicit programs (the microbenchmark path).
+func (r *Runner) RunPrograms(cfg *config.Config, progs []trace.Program) sim.Result {
+	s, err := sim.New(cfg, progs)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: %v", err))
+	}
+	return s.MustRun()
+}
+
+// Norm returns v normalized to base (the paper normalizes execution
+// times to the eager baseline).
+func Norm(v, base uint64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return float64(v) / float64(base)
+}

@@ -1,0 +1,167 @@
+// Package interconnect models the on-chip network connecting cores
+// and L3/directory banks: a 2D mesh with dimension-order routing and
+// per-hop link plus router latency, in the spirit of GARNET but at
+// message (not flit) granularity.
+package interconnect
+
+import (
+	"container/heap"
+	"fmt"
+
+	"rowsim/internal/coherence"
+)
+
+// event is one in-flight message with its arrival time.
+type event struct {
+	at  uint64
+	seq uint64 // tie-breaker preserving send order
+	msg *coherence.Msg
+}
+
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+// Mesh is a 2D mesh network. It implements coherence.Network.
+type Mesh struct {
+	cols, rows int
+	nodes      int
+
+	linkCycles   int
+	routerCycles int
+	baseCycles   int
+
+	now    uint64
+	seq    uint64
+	events eventHeap
+
+	inboxes [][]*coherence.Msg
+
+	// stats
+	messages uint64
+	hopsSum  uint64
+}
+
+// NewMesh builds a mesh holding the given number of nodes with the
+// given per-hop timing. Nodes are placed row-major on the smallest
+// near-square grid that fits.
+func NewMesh(nodes, linkCycles, routerCycles, baseCycles int) *Mesh {
+	if nodes <= 0 {
+		panic(fmt.Sprintf("interconnect: non-positive node count %d", nodes))
+	}
+	cols := 1
+	for cols*cols < nodes {
+		cols++
+	}
+	rows := (nodes + cols - 1) / cols
+	return &Mesh{
+		cols:         cols,
+		rows:         rows,
+		nodes:        nodes,
+		linkCycles:   linkCycles,
+		routerCycles: routerCycles,
+		baseCycles:   baseCycles,
+		inboxes:      make([][]*coherence.Msg, nodes),
+	}
+}
+
+// Nodes returns the number of attached nodes.
+func (m *Mesh) Nodes() int { return m.nodes }
+
+// Hops returns the Manhattan distance between two nodes.
+func (m *Mesh) Hops(a, b int) int {
+	ax, ay := a%m.cols, a/m.cols
+	bx, by := b%m.cols, b/m.cols
+	dx, dy := ax-bx, ay-by
+	if dx < 0 {
+		dx = -dx
+	}
+	if dy < 0 {
+		dy = -dy
+	}
+	return dx + dy
+}
+
+// Latency returns the transport latency between two nodes.
+func (m *Mesh) Latency(a, b int) uint64 {
+	hops := m.Hops(a, b)
+	return uint64(m.baseCycles + hops*(m.linkCycles+m.routerCycles))
+}
+
+// Send implements coherence.Network.
+func (m *Mesh) Send(msg *coherence.Msg) { m.SendAfter(msg, 0) }
+
+// SendAfter implements coherence.Network.
+func (m *Mesh) SendAfter(msg *coherence.Msg, extra uint64) {
+	if msg.Dst < 0 || msg.Dst >= m.nodes {
+		panic(fmt.Sprintf("interconnect: message to unknown node %d (%s)", msg.Dst, msg))
+	}
+	at := m.now + extra + m.Latency(msg.Src, msg.Dst)
+	if at <= m.now {
+		at = m.now + 1
+	}
+	m.seq++
+	heap.Push(&m.events, event{at: at, seq: m.seq, msg: msg})
+	m.messages++
+	m.hopsSum += uint64(m.Hops(msg.Src, msg.Dst))
+}
+
+// Tick advances the network to the given cycle, moving every message
+// that has arrived into its destination inbox.
+func (m *Mesh) Tick(cycle uint64) {
+	m.now = cycle
+	for len(m.events) > 0 && m.events[0].at <= cycle {
+		e := heap.Pop(&m.events).(event)
+		m.inboxes[e.msg.Dst] = append(m.inboxes[e.msg.Dst], e.msg)
+	}
+}
+
+// Drain returns and clears the inbox of a node. Callers own the
+// returned slice.
+func (m *Mesh) Drain(node int) []*coherence.Msg {
+	in := m.inboxes[node]
+	if len(in) == 0 {
+		return nil
+	}
+	m.inboxes[node] = nil
+	return in
+}
+
+// Idle reports whether no messages are in flight or queued anywhere.
+func (m *Mesh) Idle() bool {
+	if len(m.events) > 0 {
+		return false
+	}
+	for _, in := range m.inboxes {
+		if len(in) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Messages returns the total number of messages sent.
+func (m *Mesh) Messages() uint64 { return m.messages }
+
+// AvgHops returns the mean hop count over all messages sent.
+func (m *Mesh) AvgHops() float64 {
+	if m.messages == 0 {
+		return 0
+	}
+	return float64(m.hopsSum) / float64(m.messages)
+}

@@ -1,0 +1,149 @@
+package interconnect
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rowsim/internal/coherence"
+)
+
+func newTestMesh() *Mesh { return NewMesh(40, 1, 2, 4) }
+
+func TestLatencySymmetric(t *testing.T) {
+	m := newTestMesh()
+	f := func(a, b uint8) bool {
+		x, y := int(a)%40, int(b)%40
+		return m.Latency(x, y) == m.Latency(y, x)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLatencyTriangleInequality(t *testing.T) {
+	m := newTestMesh()
+	f := func(a, b, c uint8) bool {
+		x, y, z := int(a)%40, int(b)%40, int(c)%40
+		// Hop counts obey the triangle inequality on a mesh.
+		return m.Hops(x, z) <= m.Hops(x, y)+m.Hops(y, z)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfLatencyIsBase(t *testing.T) {
+	m := newTestMesh()
+	if got := m.Latency(3, 3); got != 4 {
+		t.Fatalf("self latency = %d, want base 4", got)
+	}
+}
+
+func TestDeliveryTiming(t *testing.T) {
+	m := newTestMesh()
+	msg := &coherence.Msg{Type: coherence.MsgGetS, Src: 0, Dst: 1}
+	m.Tick(10)
+	m.Send(msg)
+	lat := m.Latency(0, 1)
+	m.Tick(10 + lat - 1)
+	if got := m.Drain(1); got != nil {
+		t.Fatalf("message delivered a cycle early: %v", got)
+	}
+	m.Tick(10 + lat)
+	got := m.Drain(1)
+	if len(got) != 1 || got[0] != msg {
+		t.Fatalf("expected the message at exactly t+latency, got %v", got)
+	}
+}
+
+func TestSendAfterAddsDelay(t *testing.T) {
+	m := newTestMesh()
+	m.Tick(0)
+	m.SendAfter(&coherence.Msg{Src: 0, Dst: 1}, 100)
+	m.Tick(m.Latency(0, 1) + 99)
+	if m.Drain(1) != nil {
+		t.Fatal("SendAfter delivered early")
+	}
+	m.Tick(m.Latency(0, 1) + 100)
+	if len(m.Drain(1)) != 1 {
+		t.Fatal("SendAfter never delivered")
+	}
+}
+
+func TestFIFOOrderSameEndpoints(t *testing.T) {
+	m := newTestMesh()
+	m.Tick(0)
+	a := &coherence.Msg{Line: 1, Src: 0, Dst: 5}
+	b := &coherence.Msg{Line: 2, Src: 0, Dst: 5}
+	m.Send(a)
+	m.Send(b)
+	m.Tick(1000)
+	got := m.Drain(5)
+	if len(got) != 2 || got[0] != a || got[1] != b {
+		t.Fatalf("order not preserved: %v", got)
+	}
+}
+
+func TestIdle(t *testing.T) {
+	m := newTestMesh()
+	if !m.Idle() {
+		t.Fatal("fresh mesh not idle")
+	}
+	m.Tick(0)
+	m.Send(&coherence.Msg{Src: 0, Dst: 2})
+	if m.Idle() {
+		t.Fatal("mesh with in-flight message reported idle")
+	}
+	m.Tick(1000)
+	if m.Idle() {
+		t.Fatal("undrained inbox reported idle")
+	}
+	m.Drain(2)
+	if !m.Idle() {
+		t.Fatal("mesh should be idle after drain")
+	}
+}
+
+func TestStats(t *testing.T) {
+	m := newTestMesh()
+	m.Tick(0)
+	m.Send(&coherence.Msg{Src: 0, Dst: 1})
+	m.Send(&coherence.Msg{Src: 0, Dst: 39})
+	if m.Messages() != 2 {
+		t.Fatalf("messages = %d", m.Messages())
+	}
+	if m.AvgHops() <= 0 {
+		t.Fatalf("avg hops = %v", m.AvgHops())
+	}
+}
+
+func TestUnknownDestinationPanics(t *testing.T) {
+	m := newTestMesh()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("send to unknown node did not panic")
+		}
+	}()
+	m.Send(&coherence.Msg{Src: 0, Dst: 40})
+}
+
+// TestQuickEverythingDelivered: any batch of messages is fully
+// delivered once the clock passes the maximum latency.
+func TestQuickEverythingDelivered(t *testing.T) {
+	f := func(dsts []uint8) bool {
+		m := newTestMesh()
+		m.Tick(0)
+		for _, d := range dsts {
+			m.Send(&coherence.Msg{Src: int(d) % 7, Dst: int(d) % 40})
+		}
+		m.Tick(10000)
+		total := 0
+		for n := 0; n < 40; n++ {
+			total += len(m.Drain(n))
+		}
+		return total == len(dsts) && m.Idle()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,203 @@
+package predictor
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rowsim/internal/config"
+)
+
+func newContention(kind config.PredictorKind) *Contention {
+	cfg := config.Default()
+	cfg.RoW.Predictor = kind
+	return NewContention(cfg)
+}
+
+func TestUpDownWarmsToContended(t *testing.T) {
+	p := newContention(config.PredUpDown)
+	pc := uint64(0x400040)
+	if p.Predict(pc) {
+		t.Fatal("fresh predictor must predict non-contended")
+	}
+	// Threshold is 1 for UpDown: two contended outcomes flip it.
+	p.Train(pc, false, true)
+	p.Train(pc, false, true)
+	if !p.Predict(pc) {
+		t.Fatal("did not learn contention after two events")
+	}
+	// Two quiet outcomes flip it back.
+	p.Train(pc, true, false)
+	p.Train(pc, true, false)
+	if p.Predict(pc) {
+		t.Fatal("did not unlearn contention")
+	}
+}
+
+func TestSaturateJumpsOnFirstContention(t *testing.T) {
+	p := newContention(config.PredSaturate)
+	pc := uint64(0x400080)
+	p.Train(pc, false, true) // one event saturates the counter
+	if !p.Predict(pc) {
+		t.Fatal("Saturate must predict contended after one event")
+	}
+	// It takes 15 consecutive quiet outcomes to fall back below the
+	// threshold of 0 (the paper's point about its stickiness).
+	for i := 0; i < 14; i++ {
+		p.Train(pc, true, false)
+		if !p.Predict(pc) {
+			t.Fatalf("Saturate dropped after only %d quiet outcomes", i+1)
+		}
+	}
+	p.Train(pc, true, false)
+	if p.Predict(pc) {
+		t.Fatal("Saturate never unlearned after 15 quiet outcomes")
+	}
+}
+
+func TestTwoUpOneDown(t *testing.T) {
+	p := newContention(config.PredTwoUpOneDown)
+	pc := uint64(0x4000C0)
+	p.Train(pc, false, true) // counter 2 > threshold 1
+	if !p.Predict(pc) {
+		t.Fatal("+2/-1 must predict contended after one event")
+	}
+	p.Train(pc, true, false) // counter 1
+	if p.Predict(pc) {
+		t.Fatal("+2/-1 did not decay")
+	}
+}
+
+func TestAliasingDistinctEntries(t *testing.T) {
+	// Two PCs mapping to different entries do not interfere.
+	p := newContention(config.PredUpDown)
+	hot, cold := uint64(0x400000+4), uint64(0x400000+8)
+	for i := 0; i < 4; i++ {
+		p.Train(hot, false, true)
+	}
+	if !p.Predict(hot) {
+		t.Fatal("hot site not learned")
+	}
+	if p.Predict(cold) {
+		t.Fatal("cold site aliased with hot site")
+	}
+}
+
+func TestSingleEntryAliases(t *testing.T) {
+	cfg := config.Default()
+	cfg.RoW.PredictorEntries = 1
+	p := NewContention(cfg)
+	hot, cold := uint64(0x400004), uint64(0x400008)
+	for i := 0; i < 4; i++ {
+		p.Train(hot, false, true)
+	}
+	if !p.Predict(cold) {
+		t.Fatal("a 1-entry table must alias every site")
+	}
+}
+
+func TestAccuracyTracking(t *testing.T) {
+	p := newContention(config.PredUpDown)
+	pc := uint64(0x400010)
+	pred := p.Predict(pc)
+	p.Train(pc, pred, pred) // matches: correct
+	pred2 := p.Predict(pc)
+	p.Train(pc, pred2, !pred2) // mismatch
+	if got := p.Accuracy(); got != 0.5 {
+		t.Fatalf("accuracy = %v, want 0.5", got)
+	}
+	if p.Predictions() != 2 {
+		t.Fatalf("predictions = %d, want 2", p.Predictions())
+	}
+}
+
+func TestStorageBits(t *testing.T) {
+	p := newContention(config.PredUpDown)
+	if got := p.StorageBits(); got != 64*4 {
+		t.Fatalf("storage = %d bits, want 256", got)
+	}
+}
+
+func TestCounterBoundsQuick(t *testing.T) {
+	// Counters never exceed 2^N-1 or underflow regardless of the
+	// training sequence; Predict never panics.
+	f := func(seed uint64, outcomes []bool) bool {
+		p := newContention(config.PredSaturate)
+		pc := seed % 1024 * 4
+		for _, o := range outcomes {
+			pred := p.Predict(pc)
+			p.Train(pc, pred, o)
+			for _, c := range p.counters {
+				if c > p.max {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreSetLoadWaits(t *testing.T) {
+	ss := NewStoreSet(10)
+	loadPC, storePC := uint64(0x500000), uint64(0x500100)
+	// Before any violation, loads are unconstrained.
+	if ss.DispatchLoad(loadPC) != 0 {
+		t.Fatal("untrained load constrained")
+	}
+	ss.Violation(loadPC, storePC)
+	if ss.Violations() != 1 {
+		t.Fatal("violation not counted")
+	}
+	// The store registers in the LFST; the load must now wait for it.
+	ss.DispatchStore(storePC, 42)
+	if got := ss.DispatchLoad(loadPC); got != 42 {
+		t.Fatalf("load waits for %d, want 42", got)
+	}
+	// Once the store completes, the constraint lifts.
+	ss.CompleteStore(storePC, 42)
+	if got := ss.DispatchLoad(loadPC); got != 0 {
+		t.Fatalf("load still waits for %d after completion", got)
+	}
+}
+
+func TestStoreSetStoreOrdering(t *testing.T) {
+	ss := NewStoreSet(10)
+	loadPC, s1, s2 := uint64(0x600000), uint64(0x600100), uint64(0x600200)
+	ss.Violation(loadPC, s1)
+	ss.Violation(loadPC, s2) // merges s2 into the same set
+	ss.DispatchStore(s1, 10)
+	waitFor := ss.DispatchStore(s2, 20)
+	if waitFor != 10 {
+		t.Fatalf("in-set store waits for %d, want 10", waitFor)
+	}
+	if got := ss.DispatchLoad(loadPC); got != 20 {
+		t.Fatalf("load waits for %d, want the youngest store 20", got)
+	}
+}
+
+func TestStoreSetMergeTowardSmaller(t *testing.T) {
+	ss := NewStoreSet(10)
+	l1, s1 := uint64(0x700000), uint64(0x700100)
+	l2, s2 := uint64(0x700200), uint64(0x700300)
+	ss.Violation(l1, s1) // set A
+	ss.Violation(l2, s2) // set B
+	ss.Violation(l1, s2) // merge: all four PCs end up related
+	ss.DispatchStore(s2, 99)
+	if got := ss.DispatchLoad(l1); got != 99 {
+		t.Fatalf("merged sets broken: load waits for %d, want 99", got)
+	}
+}
+
+func TestStoreSetCompleteOnlyClearsOwnEntry(t *testing.T) {
+	ss := NewStoreSet(10)
+	loadPC, storePC := uint64(0x800000), uint64(0x800100)
+	ss.Violation(loadPC, storePC)
+	ss.DispatchStore(storePC, 5)
+	ss.DispatchStore(storePC, 6) // newer instance
+	ss.CompleteStore(storePC, 5) // completing the old one
+	if got := ss.DispatchLoad(loadPC); got != 6 {
+		t.Fatalf("stale completion cleared the LFST: got %d, want 6", got)
+	}
+}

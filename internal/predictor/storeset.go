@@ -1,0 +1,96 @@
+package predictor
+
+// StoreSet is a memory-dependence predictor after Chrysos & Emer
+// ("Memory Dependence Prediction using Store Sets", ISCA 1998): the
+// SSIT maps instruction PCs to store-set IDs and the LFST remembers
+// the last fetched store of each set. A load whose PC belongs to a
+// store set waits for that store instead of speculating past it.
+type StoreSet struct {
+	ssit []int32  // PC -> set id, -1 = none
+	lfst []uint64 // set id -> sequence number of last fetched store (0 = none)
+
+	mask   uint64
+	nextID int32
+
+	violations uint64
+}
+
+// NewStoreSet builds the predictor with 2^logSize SSIT entries and an
+// equally sized LFST.
+func NewStoreSet(logSize uint) *StoreSet {
+	n := 1 << logSize
+	ss := &StoreSet{
+		ssit: make([]int32, n),
+		lfst: make([]uint64, n),
+		mask: uint64(n - 1),
+	}
+	for i := range ss.ssit {
+		ss.ssit[i] = -1
+	}
+	return ss
+}
+
+func (s *StoreSet) index(pc uint64) uint64 { return (pc >> 2) & s.mask }
+
+// DispatchStore records a store at dispatch and returns the sequence
+// number of the previous store in its set (0 when unconstrained);
+// in-set stores are ordered, approximating the original design.
+func (s *StoreSet) DispatchStore(pc, seq uint64) (waitFor uint64) {
+	id := s.ssit[s.index(pc)]
+	if id < 0 {
+		return 0
+	}
+	waitFor = s.lfst[uint64(id)&s.mask]
+	s.lfst[uint64(id)&s.mask] = seq
+	return waitFor
+}
+
+// CompleteStore clears the LFST entry when the store leaves the
+// pipeline, so later loads do not wait on a finished store.
+func (s *StoreSet) CompleteStore(pc, seq uint64) {
+	id := s.ssit[s.index(pc)]
+	if id < 0 {
+		return
+	}
+	if s.lfst[uint64(id)&s.mask] == seq {
+		s.lfst[uint64(id)&s.mask] = 0
+	}
+}
+
+// DispatchLoad returns the sequence number of the store this load must
+// wait for (0 when the load may speculate freely).
+func (s *StoreSet) DispatchLoad(pc uint64) (waitFor uint64) {
+	id := s.ssit[s.index(pc)]
+	if id < 0 {
+		return 0
+	}
+	return s.lfst[uint64(id)&s.mask]
+}
+
+// Violation trains the tables after a memory-order violation between
+// a load and an older store: both PCs are placed in the same set.
+func (s *StoreSet) Violation(loadPC, storePC uint64) {
+	s.violations++
+	li, si := s.index(loadPC), s.index(storePC)
+	lid, sid := s.ssit[li], s.ssit[si]
+	switch {
+	case lid < 0 && sid < 0:
+		id := s.nextID
+		s.nextID = (s.nextID + 1) & int32(s.mask)
+		s.ssit[li], s.ssit[si] = id, id
+	case lid < 0:
+		s.ssit[li] = sid
+	case sid < 0:
+		s.ssit[si] = lid
+	default:
+		// Merge toward the smaller ID (the paper's convention).
+		if lid < sid {
+			s.ssit[si] = lid
+		} else {
+			s.ssit[li] = sid
+		}
+	}
+}
+
+// Violations returns the number of violations trained on.
+func (s *StoreSet) Violations() uint64 { return s.violations }

@@ -1,0 +1,34 @@
+package sim_test
+
+import (
+	"fmt"
+	"log"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/workload"
+)
+
+// Example runs a small contended workload under the RoW policy and
+// prints the committed-instruction count (cycle counts are stable for
+// a fixed seed but too fragile to assert in documentation).
+func Example() {
+	params := workload.MustGet("sps")
+	progs := workload.Generate(params, 4, 2000, 1)
+
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.Policy = config.PolicyRoW
+	cfg.MaxCycles = 50_000_000
+
+	system, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(params)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := system.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("committed=%d atomics=%d\n", res.Committed, res.Atomics)
+	// Output: committed=8000 atomics=64
+}

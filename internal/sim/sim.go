@@ -1,0 +1,302 @@
+// Package sim assembles the full simulated system — cores, private
+// caches, mesh interconnect and directory/L3 banks — and runs a
+// workload to completion, extracting the metrics the experiment
+// harnesses report.
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rowsim/internal/cache"
+	"rowsim/internal/coherence"
+	"rowsim/internal/config"
+	"rowsim/internal/core"
+	"rowsim/internal/interconnect"
+	"rowsim/internal/trace"
+)
+
+// System is one assembled multicore simulation.
+type System struct {
+	cfg    *config.Config
+	mesh   *interconnect.Mesh
+	cores  []*core.Core
+	caches []*cache.Private
+	dirs   []*coherence.Directory
+
+	warmFilter func(core int, line uint64) bool
+	checkEvery uint64
+
+	cycle uint64
+}
+
+// Option customizes system construction.
+type Option func(*System)
+
+// WithWarmFilter restricts cache warming: lines for which the filter
+// returns false stay cold (e.g. a capacity-missing atomic region).
+func WithWarmFilter(f func(core int, line uint64) bool) Option {
+	return func(s *System) { s.warmFilter = f }
+}
+
+// WithInvariantChecks verifies the single-writer/multiple-reader
+// coherence invariant every interval cycles (expensive; intended for
+// tests). A violation aborts the run with a diagnostic error.
+func WithInvariantChecks(interval uint64) Option {
+	return func(s *System) { s.checkEvery = interval }
+}
+
+// New builds a system running one program per core. Cores without a
+// program idle (len(progs) may be less than NumCores).
+func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(progs) > cfg.NumCores {
+		return nil, fmt.Errorf("sim: %d programs for %d cores", len(progs), cfg.NumCores)
+	}
+	n := cfg.NumCores
+	banks := cfg.Mem.L3Banks
+	mesh := interconnect.NewMesh(n+banks, cfg.Mem.LinkCycles, cfg.Mem.RouterCycles, cfg.Mem.BaseCycles)
+
+	lineShift := uint(0)
+	for 1<<lineShift < cfg.Mem.LineBytes {
+		lineShift++
+	}
+	bankOf := func(line uint64) int {
+		return n + int((line>>lineShift)%uint64(banks))
+	}
+
+	s := &System{cfg: cfg, mesh: mesh}
+	for b := 0; b < banks; b++ {
+		s.dirs = append(s.dirs, coherence.NewDirectory(
+			n+b, b, mesh,
+			cfg.Mem.L3.SizeBytes, cfg.Mem.L3.Ways, cfg.Mem.LineBytes,
+			cfg.Mem.L3.HitCycles, cfg.Mem.DRAMCycles,
+		))
+	}
+	for i := 0; i < n; i++ {
+		var prog trace.Program
+		if i < len(progs) {
+			prog = progs[i]
+		}
+		c := core.New(i, cfg, prog)
+		pc := cache.NewPrivate(i, cfg, mesh, c, bankOf)
+		c.AttachMemory(pc)
+		s.cores = append(s.cores, c)
+		s.caches = append(s.caches, pc)
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if cfg.WarmCaches {
+		s.Warm(progs)
+	}
+	return s, nil
+}
+
+// Cores exposes the simulated cores (stats inspection).
+func (s *System) Cores() []*core.Core { return s.cores }
+
+// Caches exposes the private caches (stats inspection).
+func (s *System) Caches() []*cache.Private { return s.caches }
+
+// Directories exposes the L3/directory banks (stats inspection).
+func (s *System) Directories() []*coherence.Directory { return s.dirs }
+
+// Cycle returns the current simulation cycle.
+func (s *System) Cycle() uint64 { return s.cycle }
+
+// Warm pre-loads the caches with the lines the programs touch, the
+// way a real evaluation measures a region of interest after warm-up:
+// lines accessed by a single core are installed exclusively in that
+// core's private L2 (and at the directory), lines shared by several
+// cores are installed in the L3. Without this, short traces are
+// dominated by cold first-touch DRAM misses that real ROI
+// measurements never see.
+func (s *System) Warm(progs []trace.Program) {
+	lineMask := ^uint64(s.cfg.Mem.LineBytes - 1)
+	owner := make(map[uint64]int)
+	for c, prog := range progs {
+		for i := range prog {
+			in := &prog[i]
+			if !in.IsMem() {
+				continue
+			}
+			line := in.Addr & lineMask
+			if prev, ok := owner[line]; ok && prev != c {
+				owner[line] = -1 // shared
+			} else if !ok {
+				owner[line] = c
+			}
+		}
+	}
+	n := s.cfg.NumCores
+	banks := s.cfg.Mem.L3Banks
+	lineShift := uint(0)
+	for 1<<lineShift < s.cfg.Mem.LineBytes {
+		lineShift++
+	}
+	// Deterministic install order (map iteration is randomized):
+	// warming happens in line-address order, so LRU keeps the highest
+	// lines of an over-capacity region — a fixed, reproducible subset.
+	lines := make([]uint64, 0, len(owner))
+	for line := range owner {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		c := owner[line]
+		if s.warmFilter != nil && !s.warmFilter(c, line) {
+			continue
+		}
+		bank := int((line >> lineShift) % uint64(banks))
+		if c >= 0 && c < n {
+			s.dirs[bank].WarmOwned(line, c)
+			s.caches[c].Warm(line, cache.StateE)
+		} else {
+			s.dirs[bank].WarmL3(line)
+		}
+	}
+}
+
+// watchdogWindow is the progress-check horizon: a healthy system
+// commits something well within this many cycles.
+const watchdogWindow = 1 << 19
+
+// Run simulates until every core finishes its program. It returns an
+// error when the cycle budget is exhausted or the system stops making
+// progress (a protocol bug, never expected in a correct build).
+func (s *System) Run() (Result, error) {
+	var lastCommitted uint64
+	lastProgress := uint64(0)
+	for {
+		done := true
+		for _, c := range s.cores {
+			if !c.Done() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		s.cycle++
+		cyc := s.cycle
+		s.mesh.Tick(cyc)
+		for i, d := range s.dirs {
+			msgs := s.mesh.Drain(s.cfg.NumCores + i)
+			for _, m := range msgs {
+				d.Handle(m)
+			}
+		}
+		for i, pc := range s.caches {
+			if msgs := s.mesh.Drain(i); msgs != nil {
+				pc.Deliver(msgs)
+			}
+			pc.Tick(cyc)
+		}
+		for _, c := range s.cores {
+			c.Tick(cyc)
+		}
+
+		if s.cfg.MaxCycles > 0 && cyc > s.cfg.MaxCycles {
+			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d\n%s", s.cfg.MaxCycles, s.dump())
+		}
+		if s.checkEvery > 0 && cyc%s.checkEvery == 0 {
+			if err := s.CheckCoherence(); err != nil {
+				return Result{}, fmt.Errorf("sim: cycle %d: %w", cyc, err)
+			}
+		}
+		if cyc&1023 == 0 {
+			var committed uint64
+			for _, c := range s.cores {
+				committed += c.Stats.Committed
+			}
+			if committed != lastCommitted {
+				lastCommitted = committed
+				lastProgress = cyc
+			} else if cyc-lastProgress > watchdogWindow {
+				return Result{}, fmt.Errorf("sim: no progress for %d cycles at cycle %d\n%s", watchdogWindow, cyc, s.dump())
+			}
+		}
+	}
+	return s.collect(), nil
+}
+
+// MustRun runs and panics on simulation failure (experiment harness
+// convenience: a failure is a bug, not an expected condition).
+func (s *System) MustRun() Result {
+	r, err := s.Run()
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// CheckCoherence verifies the single-writer/multiple-reader invariant
+// across every private cache: a line held M or E by one core must not
+// be valid anywhere else. Transient windows exist while a transaction
+// is in flight (data sent, old copy being invalidated), so lines with
+// open directory transactions or in-flight messages are skipped; the
+// check is therefore meaningful at quiesced instants and approximate
+// otherwise — still enough to catch protocol regressions in tests.
+func (s *System) CheckCoherence() error {
+	if !s.mesh.Idle() {
+		return nil // messages in flight: transient states expected
+	}
+	type holder struct {
+		core  int
+		state uint8
+	}
+	holders := make(map[uint64][]holder)
+	for i, pc := range s.caches {
+		if pc.PendingWork() {
+			return nil
+		}
+		core := i
+		pc.ForEachLine(func(line uint64, state uint8) {
+			if state == cache.StateI {
+				return
+			}
+			holders[line] = append(holders[line], holder{core: core, state: state})
+		})
+	}
+	for _, d := range s.dirs {
+		if d.PendingWork() {
+			return nil
+		}
+	}
+	for line, hs := range holders {
+		if len(hs) < 2 {
+			continue
+		}
+		for _, h := range hs {
+			if h.state == cache.StateM || h.state == cache.StateE {
+				return fmt.Errorf("coherence violation: line %#x exclusive at core %d but held by %d caches (%v)",
+					line, h.core, len(hs), hs)
+			}
+		}
+	}
+	return nil
+}
+
+func (s *System) dump() string {
+	out := ""
+	for _, c := range s.cores {
+		if !c.Done() {
+			out += c.String() + "\n"
+		}
+	}
+	for _, d := range s.dirs {
+		for _, line := range d.DebugBlocked() {
+			out += line + "\n"
+		}
+	}
+	for _, pc := range s.caches {
+		for _, line := range pc.DebugMSHRs() {
+			out += line + "\n"
+		}
+	}
+	return out
+}

@@ -1,0 +1,51 @@
+package sim
+
+import (
+	"testing"
+
+	"rowsim/internal/config"
+	"rowsim/internal/workload"
+)
+
+// TestSmokeSingleCore runs a tiny single-core workload end to end.
+func TestSmokeSingleCore(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.Policy = config.PolicyEager
+	cfg.MaxCycles = 2_000_000
+	progs := workload.Generate(workload.MustGet("canneal"), 1, 2000, 42)
+	s, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed < 2000 {
+		t.Fatalf("committed %d < 2000", r.Committed)
+	}
+	t.Logf("cycles=%d committed=%d ipc=%.2f atomics=%d", r.Cycles, r.Committed, r.IPC, r.Atomics)
+}
+
+// TestSmokeContended runs a small contended multicore workload under
+// each policy.
+func TestSmokeContended(t *testing.T) {
+	for _, pol := range []config.AtomicPolicy{config.PolicyEager, config.PolicyLazy, config.PolicyRoW} {
+		cfg := config.Default()
+		cfg.NumCores = 8
+		cfg.Policy = pol
+		cfg.MaxCycles = 5_000_000
+		progs := workload.Generate(workload.MustGet("pc"), 8, 2000, 7)
+		s, err := New(cfg, progs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatalf("policy %v: %v", pol, err)
+		}
+		t.Logf("policy=%v cycles=%d ipc=%.2f atomics=%d contended=%.2f",
+			pol, r.Cycles, r.IPC, r.Atomics, r.ContendedFrac)
+	}
+}

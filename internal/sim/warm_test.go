@@ -1,0 +1,126 @@
+package sim
+
+import (
+	"testing"
+
+	"rowsim/internal/config"
+	"rowsim/internal/trace"
+	"rowsim/internal/workload"
+)
+
+// TestWarmDeterministic: warming over-capacity regions keeps a fixed
+// subset, so two identical systems behave identically.
+func TestWarmDeterministic(t *testing.T) {
+	build := func() Result {
+		cfg := config.Default()
+		cfg.NumCores = 2
+		cfg.MaxCycles = 50_000_000
+		p := workload.MustGet("canneal")
+		progs := workload.Generate(p, 2, 3000, 5)
+		s, err := New(cfg, progs, WithWarmFilter(workload.WarmFilter(p)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	if a, b := build(), build(); a.Cycles != b.Cycles {
+		t.Fatalf("warm start nondeterministic: %d vs %d", a.Cycles, b.Cycles)
+	}
+}
+
+// TestWarmFilterKeepsAtomicsCold: canneal's atomics target a declared
+// cold region; with the filter installed their fills must still miss
+// past the private caches.
+func TestWarmFilterKeepsAtomicsCold(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	cfg.Policy = config.PolicyEager
+	cfg.MaxCycles = 50_000_000
+	p := workload.MustGet("canneal")
+	progs := workload.Generate(p, 1, 3000, 5)
+	s, err := New(cfg, progs, WithWarmFilter(workload.WarmFilter(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Atomics == 0 {
+		t.Fatal("no atomics committed")
+	}
+	// Cold atomics must show a substantial issue->lock latency (they
+	// go to the L3/DRAM, not the warmed L2).
+	if r.IssueToLock < 50 {
+		t.Fatalf("atomic fill latency %.0f too low: cold region was warmed", r.IssueToLock)
+	}
+}
+
+// TestWarmSharedLinesInL3: without a filter, a line used by two cores
+// is warmed into the L3 only — the first access misses the private
+// levels but is served quickly.
+func TestWarmSharedLinesInL3(t *testing.T) {
+	shared := uint64(0x18000000)
+	mk := func() trace.Program {
+		return trace.Program{
+			{PC: 0x400000, Kind: trace.Load, Dst: 1, Addr: shared, Size: 8},
+			{PC: 0x400004, Kind: trace.IntOp, Src1: 1, Dst: 2},
+		}
+	}
+	cfg := config.Default()
+	cfg.NumCores = 2
+	cfg.MaxCycles = 1_000_000
+	s, err := New(cfg, []trace.Program{mk(), mk()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// An L3 hit plus network is far below a DRAM round trip.
+	if r.MissLatency <= 0 || r.MissLatency > 150 {
+		t.Fatalf("shared warm fill latency %.0f, want (0,150]", r.MissLatency)
+	}
+}
+
+// TestIdleCoresAllowed: fewer programs than cores is legal.
+func TestIdleCoresAllowed(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.MaxCycles = 1_000_000
+	progs := []trace.Program{{{PC: 4, Kind: trace.IntOp, Dst: 1}}}
+	s, err := New(cfg, progs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Committed != 1 {
+		t.Fatalf("committed = %d", r.Committed)
+	}
+}
+
+// TestTooManyProgramsRejected: more programs than cores is an error.
+func TestTooManyProgramsRejected(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 1
+	if _, err := New(cfg, make([]trace.Program, 2)); err == nil {
+		t.Fatal("expected an error")
+	}
+}
+
+// TestInvalidConfigRejected: New validates the configuration.
+func TestInvalidConfigRejected(t *testing.T) {
+	cfg := config.Default()
+	cfg.NumCores = 0
+	if _, err := New(cfg, nil); err == nil {
+		t.Fatal("expected a validation error")
+	}
+}

@@ -1,0 +1,237 @@
+// Package sram provides a generic set-associative tag array with LRU
+// replacement, shared by the private caches, the shared L3 and the
+// instruction cache. It tracks presence and per-line metadata; data
+// values are not simulated (the model is timing-only).
+package sram
+
+import "fmt"
+
+// Line is one array entry.
+type Line struct {
+	Valid bool
+	Tag   uint64 // full line address (low bits cleared by the caller)
+	Meta  uint8  // caller-defined metadata (e.g. coherence state)
+	lru   uint64 // higher = more recently used
+}
+
+// Array is a set-associative array indexed by line address.
+type Array struct {
+	sets      int
+	ways      int
+	lineShift uint
+	lines     []Line // sets*ways, row-major
+	clock     uint64
+
+	hits   uint64
+	misses uint64
+}
+
+// New builds an array with the given geometry. sizeBytes must be
+// divisible by ways*lineBytes and yield a power-of-two set count.
+func New(sizeBytes, ways, lineBytes int) *Array {
+	if sizeBytes <= 0 || ways <= 0 || lineBytes <= 0 || sizeBytes%(ways*lineBytes) != 0 {
+		panic(fmt.Sprintf("sram: bad geometry size=%d ways=%d line=%d", sizeBytes, ways, lineBytes))
+	}
+	sets := sizeBytes / (ways * lineBytes)
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("sram: set count %d is not a positive power of two", sets))
+	}
+	shift := uint(0)
+	for 1<<shift < lineBytes {
+		shift++
+	}
+	return &Array{
+		sets:      sets,
+		ways:      ways,
+		lineShift: shift,
+		lines:     make([]Line, sets*ways),
+	}
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return a.sets }
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+func (a *Array) setIndex(line uint64) int {
+	return int((line >> a.lineShift) & uint64(a.sets-1))
+}
+
+func (a *Array) set(line uint64) []Line {
+	s := a.setIndex(line)
+	return a.lines[s*a.ways : (s+1)*a.ways]
+}
+
+// Lookup finds a line and, when touch is true, refreshes its LRU
+// position. It returns a pointer valid until the next Insert on the
+// same set, or nil on miss.
+func (a *Array) Lookup(line uint64, touch bool) *Line {
+	set := a.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			if touch {
+				a.clock++
+				set[i].lru = a.clock
+			}
+			a.hits++
+			return &set[i]
+		}
+	}
+	a.misses++
+	return nil
+}
+
+// Contains reports presence without disturbing LRU or hit/miss stats.
+func (a *Array) Contains(line uint64) bool {
+	set := a.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			return true
+		}
+	}
+	return false
+}
+
+// Peek returns the line without disturbing LRU or stats.
+func (a *Array) Peek(line uint64) *Line {
+	set := a.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			return &set[i]
+		}
+	}
+	return nil
+}
+
+// Insert installs a line, evicting the LRU way if the set is full.
+// It returns the evicted line's (tag, meta) with evicted=true when a
+// valid line was displaced. Inserting an already-present line just
+// refreshes it.
+func (a *Array) Insert(line uint64, meta uint8) (evictedTag uint64, evictedMeta uint8, evicted bool) {
+	set := a.set(line)
+	a.clock++
+	// Already present: refresh.
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			set[i].Meta = meta
+			set[i].lru = a.clock
+			return 0, 0, false
+		}
+	}
+	// Free way.
+	for i := range set {
+		if !set[i].Valid {
+			set[i] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+			return 0, 0, false
+		}
+	}
+	// Evict LRU.
+	victim := 0
+	for i := 1; i < len(set); i++ {
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	evictedTag, evictedMeta = set[victim].Tag, set[victim].Meta
+	set[victim] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+	return evictedTag, evictedMeta, true
+}
+
+// InsertLRU installs a line at the least-recently-used position so a
+// subsequent insert in the same set prefers to evict it (used for
+// prefetches that should not pollute).
+func (a *Array) InsertLRU(line uint64, meta uint8) (evictedTag uint64, evictedMeta uint8, evicted bool) {
+	t, m, e := a.Insert(line, meta)
+	if l := a.Peek(line); l != nil {
+		l.lru = 0
+	}
+	return t, m, e
+}
+
+// Invalidate removes a line; it reports whether the line was present
+// and returns its metadata.
+func (a *Array) Invalidate(line uint64) (meta uint8, present bool) {
+	set := a.set(line)
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			meta = set[i].Meta
+			set[i] = Line{}
+			return meta, true
+		}
+	}
+	return 0, false
+}
+
+// Hits returns the number of Lookup hits.
+func (a *Array) Hits() uint64 { return a.hits }
+
+// Misses returns the number of Lookup misses.
+func (a *Array) Misses() uint64 { return a.misses }
+
+// InsertVeto installs a line like Insert but never evicts a line for
+// which veto returns true (e.g. a cacheline locked by an in-flight
+// atomic). When every candidate way is vetoed it reports ok=false and
+// leaves the array untouched; the caller should then treat the fill as
+// uncacheable.
+func (a *Array) InsertVeto(line uint64, meta uint8, veto func(tag uint64) bool) (evictedTag uint64, evictedMeta uint8, evicted, ok bool) {
+	set := a.set(line)
+	a.clock++
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			set[i].Meta = meta
+			set[i].lru = a.clock
+			return 0, 0, false, true
+		}
+	}
+	for i := range set {
+		if !set[i].Valid {
+			set[i] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+			return 0, 0, false, true
+		}
+	}
+	victim := -1
+	for i := range set {
+		if veto != nil && veto(set[i].Tag) {
+			continue
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	if victim < 0 {
+		return 0, 0, false, false
+	}
+	evictedTag, evictedMeta = set[victim].Tag, set[victim].Meta
+	set[victim] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+	return evictedTag, evictedMeta, true, true
+}
+
+// ForEach calls fn for every valid line in the array (diagnostics and
+// invariant checking; order is unspecified).
+func (a *Array) ForEach(fn func(tag uint64, meta uint8)) {
+	for i := range a.lines {
+		if a.lines[i].Valid {
+			fn(a.lines[i].Tag, a.lines[i].Meta)
+		}
+	}
+}
+
+// VictimFor returns the tag that Insert would evict for this line, or
+// evicted=false if the set has room or the line is already present.
+func (a *Array) VictimFor(line uint64) (tag uint64, meta uint8, evicted bool) {
+	set := a.set(line)
+	victim := -1
+	for i := range set {
+		if set[i].Valid && set[i].Tag == line {
+			return 0, 0, false
+		}
+		if !set[i].Valid {
+			return 0, 0, false
+		}
+		if victim < 0 || set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	return set[victim].Tag, set[victim].Meta, true
+}

@@ -1,0 +1,231 @@
+package sram
+
+import (
+	"testing"
+	"testing/quick"
+
+	"rowsim/internal/xrand"
+)
+
+func line(i uint64) uint64 { return i * 64 }
+
+func TestLookupMissThenInsertHit(t *testing.T) {
+	a := New(4096, 4, 64)
+	if a.Lookup(line(1), true) != nil {
+		t.Fatal("unexpected hit on empty array")
+	}
+	a.Insert(line(1), 7)
+	l := a.Lookup(line(1), true)
+	if l == nil {
+		t.Fatal("expected hit after insert")
+	}
+	if l.Meta != 7 {
+		t.Fatalf("meta = %d, want 7", l.Meta)
+	}
+	if a.Hits() != 1 || a.Misses() != 1 {
+		t.Fatalf("hits/misses = %d/%d, want 1/1", a.Hits(), a.Misses())
+	}
+}
+
+func TestInsertEvictsLRU(t *testing.T) {
+	// 2 ways, 1 set: third insert evicts the least recently used.
+	a := New(128, 2, 64)
+	a.Insert(line(0), 0)
+	a.Insert(line(1), 0)
+	a.Lookup(line(0), true) // line 0 now MRU
+	evTag, _, evicted := a.Insert(line(2), 0)
+	if !evicted {
+		t.Fatal("expected an eviction")
+	}
+	if evTag != line(1) {
+		t.Fatalf("evicted %#x, want %#x (the LRU)", evTag, line(1))
+	}
+	if !a.Contains(line(0)) || !a.Contains(line(2)) {
+		t.Fatal("expected lines 0 and 2 resident")
+	}
+}
+
+func TestInsertExistingRefreshes(t *testing.T) {
+	a := New(128, 2, 64)
+	a.Insert(line(0), 1)
+	a.Insert(line(1), 1)
+	a.Insert(line(0), 5) // refresh, now line 1 is LRU
+	if _, _, ev := a.Insert(line(0), 5); ev {
+		t.Fatal("reinsert must not evict")
+	}
+	evTag, _, evicted := a.Insert(line(2), 0)
+	if !evicted || evTag != line(1) {
+		t.Fatalf("evicted (%#x,%v), want line 1", evTag, evicted)
+	}
+	if l := a.Peek(line(0)); l == nil || l.Meta != 5 {
+		t.Fatal("refresh did not update metadata")
+	}
+}
+
+func TestInvalidate(t *testing.T) {
+	a := New(4096, 4, 64)
+	a.Insert(line(3), 9)
+	meta, present := a.Invalidate(line(3))
+	if !present || meta != 9 {
+		t.Fatalf("invalidate = (%d,%v), want (9,true)", meta, present)
+	}
+	if _, present = a.Invalidate(line(3)); present {
+		t.Fatal("double invalidate reported present")
+	}
+	if a.Contains(line(3)) {
+		t.Fatal("line still present after invalidate")
+	}
+}
+
+func TestInsertVetoAvoidsLockedLine(t *testing.T) {
+	a := New(128, 2, 64) // 1 set, 2 ways
+	a.Insert(line(0), 0)
+	a.Insert(line(1), 0)
+	locked := map[uint64]bool{line(0): true}
+	veto := func(tag uint64) bool { return locked[tag] }
+	evTag, _, evicted, ok := a.InsertVeto(line(2), 0, veto)
+	if !ok || !evicted {
+		t.Fatalf("InsertVeto = (ok=%v,evicted=%v), want both true", ok, evicted)
+	}
+	if evTag != line(1) {
+		t.Fatalf("evicted %#x, want the unlocked line 1", evTag)
+	}
+	if !a.Contains(line(0)) {
+		t.Fatal("locked line was evicted")
+	}
+}
+
+func TestInsertVetoAllLockedBypasses(t *testing.T) {
+	a := New(128, 2, 64)
+	a.Insert(line(0), 0)
+	a.Insert(line(1), 0)
+	veto := func(uint64) bool { return true }
+	_, _, _, ok := a.InsertVeto(line(2), 0, veto)
+	if ok {
+		t.Fatal("expected bypass when every way is vetoed")
+	}
+	if a.Contains(line(2)) {
+		t.Fatal("bypassed fill must not be installed")
+	}
+}
+
+func TestVictimFor(t *testing.T) {
+	a := New(128, 2, 64)
+	if _, _, ev := a.VictimFor(line(5)); ev {
+		t.Fatal("empty set must not report a victim")
+	}
+	a.Insert(line(0), 0)
+	a.Insert(line(1), 0)
+	if _, _, ev := a.VictimFor(line(0)); ev {
+		t.Fatal("present line must not report a victim")
+	}
+	tag, _, ev := a.VictimFor(line(2))
+	if !ev || tag != line(0) {
+		t.Fatalf("victim = (%#x,%v), want line 0", tag, ev)
+	}
+}
+
+func TestSetIsolation(t *testing.T) {
+	// Lines in different sets never evict each other.
+	a := New(8192, 2, 64) // 64 sets
+	for i := uint64(0); i < 64; i++ {
+		if _, _, ev := a.Insert(line(i), 0); ev {
+			t.Fatalf("insert into distinct set %d evicted", i)
+		}
+	}
+	for i := uint64(0); i < 64; i++ {
+		if !a.Contains(line(i)) {
+			t.Fatalf("line %d missing", i)
+		}
+	}
+}
+
+func TestInsertLRUPreferredVictim(t *testing.T) {
+	a := New(128, 2, 64)
+	a.Insert(line(0), 0)
+	a.InsertLRU(line(1), 0) // inserted at LRU position
+	evTag, _, evicted := a.Insert(line(2), 0)
+	if !evicted || evTag != line(1) {
+		t.Fatalf("evicted (%#x,%v), want the LRU-inserted line 1", evTag, evicted)
+	}
+}
+
+func TestBadGeometryPanics(t *testing.T) {
+	for _, g := range []struct{ size, ways, line int }{
+		{0, 4, 64}, {4096, 0, 64}, {4096, 4, 0}, {4096 + 64, 4, 64}, // non-pow2 sets
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d,%d,%d) did not panic", g.size, g.ways, g.line)
+				}
+			}()
+			New(g.size, g.ways, g.line)
+		}()
+	}
+}
+
+// TestQuickCapacityInvariant: regardless of the insert sequence, the
+// number of resident lines never exceeds capacity, and the most
+// recently inserted line is always resident.
+func TestQuickCapacityInvariant(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		a := New(4096, 4, 64) // 64 lines capacity
+		rng := xrand.New(seed)
+		var last uint64
+		resident := make(map[uint64]bool)
+		for i := 0; i < int(n%512)+1; i++ {
+			l := line(uint64(rng.Intn(256)))
+			evTag, _, ev := a.Insert(l, 0)
+			resident[l] = true
+			if ev {
+				delete(resident, evTag)
+			}
+			last = l
+		}
+		if !a.Contains(last) {
+			return false
+		}
+		count := 0
+		for l := range resident {
+			if a.Contains(l) {
+				count++
+			} else {
+				return false // bookkeeping and array disagree
+			}
+		}
+		return count <= 64
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuickLookupAfterInsert: lookups of inserted lines always hit
+// until an eviction removes them (tracked via returned evictions).
+func TestQuickLookupAfterInsert(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := New(2048, 2, 64)
+		rng := xrand.New(seed)
+		live := make(map[uint64]uint8)
+		for i := 0; i < 300; i++ {
+			l := line(uint64(rng.Intn(128)))
+			meta := uint8(rng.Intn(4))
+			evTag, _, ev := a.Insert(l, meta)
+			if ev {
+				delete(live, evTag)
+			}
+			live[l] = meta
+		}
+		for l, meta := range live {
+			got := a.Peek(l)
+			if got == nil || got.Meta != meta {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,37 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"rowsim/internal/stats"
+)
+
+func ExampleTable() {
+	t := &stats.Table{
+		Title:   "Normalized execution time",
+		Headers: []string{"workload", "lazy/eager"},
+	}
+	t.AddRow("canneal", stats.F(1.315))
+	t.AddRow("pc", stats.F(0.794))
+	fmt.Print(t)
+	// Output:
+	// Normalized execution time
+	// workload  lazy/eager
+	// --------  ----------
+	// canneal   1.315
+	// pc        0.794
+}
+
+func ExampleGeoMean() {
+	fmt.Printf("%.2f\n", stats.GeoMean([]float64{0.5, 2.0}))
+	// Output: 1.00
+}
+
+func ExampleHistogram() {
+	h := stats.NewHistogram(1024)
+	for _, lat := range []float64{5, 5, 12, 200, 700} {
+		h.Observe(lat)
+	}
+	fmt.Printf("mean=%.1f p99<=%.0f\n", h.Mean(), h.Quantile(0.99))
+	// Output: mean=184.4 p99<=1024
+}

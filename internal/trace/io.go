@@ -1,0 +1,117 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// Trace files let a generated workload be saved and replayed
+// bit-exactly (reproduction artifacts): a small header, then per core
+// a length-prefixed run of fixed-width instruction records.
+
+const (
+	traceMagic   = uint32(0x52575354) // "RWST"
+	traceVersion = uint32(1)
+)
+
+// WritePrograms serializes per-core programs.
+func WritePrograms(w io.Writer, progs []Program) error {
+	bw := bufio.NewWriter(w)
+	le := binary.LittleEndian
+	var hdr [12]byte
+	le.PutUint32(hdr[0:], traceMagic)
+	le.PutUint32(hdr[4:], traceVersion)
+	le.PutUint32(hdr[8:], uint32(len(progs)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [32]byte
+	for _, prog := range progs {
+		var n [8]byte
+		le.PutUint64(n[:], uint64(len(prog)))
+		if _, err := bw.Write(n[:]); err != nil {
+			return err
+		}
+		for i := range prog {
+			in := &prog[i]
+			le.PutUint64(rec[0:], in.PC)
+			le.PutUint64(rec[8:], in.Addr)
+			rec[16] = byte(in.Kind)
+			rec[17] = byte(in.Src1)
+			rec[18] = byte(in.Src2)
+			rec[19] = byte(in.Dst)
+			rec[20] = in.Size
+			rec[21] = byte(in.AtomicOp)
+			flags := byte(0)
+			if in.NoLockPrefix {
+				flags |= 1
+			}
+			if in.Taken {
+				flags |= 2
+			}
+			rec[22] = flags
+			rec[23] = 0
+			le.PutUint64(rec[24:], 0) // reserved
+			if _, err := bw.Write(rec[:]); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPrograms deserializes programs written by WritePrograms.
+func ReadPrograms(r io.Reader) ([]Program, error) {
+	br := bufio.NewReader(r)
+	le := binary.LittleEndian
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if got := le.Uint32(hdr[0:]); got != traceMagic {
+		return nil, fmt.Errorf("trace: bad magic %#x", got)
+	}
+	if got := le.Uint32(hdr[4:]); got != traceVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", got)
+	}
+	cores := le.Uint32(hdr[8:])
+	const maxCores = 1 << 16
+	if cores > maxCores {
+		return nil, fmt.Errorf("trace: implausible core count %d", cores)
+	}
+	progs := make([]Program, cores)
+	var rec [32]byte
+	for c := range progs {
+		var n [8]byte
+		if _, err := io.ReadFull(br, n[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading core %d length: %w", c, err)
+		}
+		count := le.Uint64(n[:])
+		const maxInstrs = 1 << 32
+		if count > maxInstrs {
+			return nil, fmt.Errorf("trace: implausible instruction count %d", count)
+		}
+		prog := make(Program, count)
+		for i := range prog {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return nil, fmt.Errorf("trace: reading core %d instr %d: %w", c, i, err)
+			}
+			prog[i] = Instr{
+				PC:           le.Uint64(rec[0:]),
+				Addr:         le.Uint64(rec[8:]),
+				Kind:         Kind(rec[16]),
+				Src1:         Reg(rec[17]),
+				Src2:         Reg(rec[18]),
+				Dst:          Reg(rec[19]),
+				Size:         rec[20],
+				AtomicOp:     AtomicKind(rec[21]),
+				NoLockPrefix: rec[22]&1 != 0,
+				Taken:        rec[22]&2 != 0,
+			}
+		}
+		progs[c] = prog
+	}
+	return progs, nil
+}

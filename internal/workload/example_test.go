@@ -1,0 +1,23 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"rowsim/internal/workload"
+)
+
+func ExampleGenerate() {
+	// Generate 32 per-core traces of the paper's most contended
+	// workload; generation is deterministic in the seed.
+	params := workload.MustGet("pc")
+	progs := workload.Generate(params, 32, 8000, 1)
+	fmt.Printf("cores=%d instrs/core=%d atomics/10k=%.0f\n",
+		len(progs), len(progs[0]), progs[0].AtomicsPer10K())
+	// Output: cores=32 instrs/core=8000 atomics/10k=106
+}
+
+func ExampleMicrobenchVariant() {
+	v := workload.MicrobenchVariant{Locked: true, Fenced: true}
+	fmt.Println(v)
+	// Output: lock FAA +mfence
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"testing"
+
+	"rowsim/internal/trace"
+)
+
+func TestSyncKernelsRegistered(t *testing.T) {
+	for _, n := range SyncKernels {
+		p, err := Get(n)
+		if err != nil {
+			t.Fatalf("%s: %v", n, err)
+		}
+		if p.Synth == synthNone {
+			t.Fatalf("%s: not a synthetic kernel", n)
+		}
+		progs := Generate(p, 2, 5000, 1)
+		if len(progs[0]) < 5000 {
+			t.Fatalf("%s: trace too short (%d)", n, len(progs[0]))
+		}
+	}
+}
+
+func TestTicketAtomicsOnlyOnTicketLines(t *testing.T) {
+	// Lock objects span two lines; atomics must only target the
+	// first (the second is the spin word — aliasing them deadlocks
+	// real and simulated ticket locks alike).
+	p := MustGet("ticket")
+	prog := Generate(p, 4, 8000, 3)[0]
+	for i := range prog {
+		in := &prog[i]
+		if in.Kind != trace.Atomic {
+			continue
+		}
+		off := (in.Addr - hotBase) / lineBytes
+		if off%2 != 0 {
+			t.Fatalf("atomic on a spin line %#x", in.Addr)
+		}
+	}
+}
+
+func TestTASShape(t *testing.T) {
+	p := MustGet("tas")
+	prog := Generate(p, 1, 6000, 2)[0]
+	s := prog.Summarize()
+	if s.Atomics == 0 {
+		t.Fatal("no SWAP acquisitions generated")
+	}
+	// Every atomic is a SWAP on a lock line.
+	for i := range prog {
+		in := &prog[i]
+		if in.Kind == trace.Atomic {
+			if in.AtomicOp != trace.SWAP {
+				t.Fatalf("TAS uses %v, want SWAP", in.AtomicOp)
+			}
+			if in.Addr < hotBase || in.Addr >= metaBase {
+				t.Fatalf("SWAP outside the lock region: %#x", in.Addr)
+			}
+		}
+	}
+	// Releases: stores to the lock region exist.
+	releases := 0
+	for i := range prog {
+		if prog[i].Kind == trace.Store && prog[i].Addr >= hotBase && prog[i].Addr < metaBase {
+			releases++
+		}
+	}
+	if releases == 0 {
+		t.Fatal("no release stores")
+	}
+}
+
+func TestBarrierShape(t *testing.T) {
+	p := MustGet("barrier")
+	prog := Generate(p, 1, 6000, 2)[0]
+	faa, spinLoads := 0, 0
+	for i := range prog {
+		in := &prog[i]
+		if in.Kind == trace.Atomic && in.AtomicOp == trace.FAA {
+			faa++
+		}
+		if in.Kind == trace.Load && in.Addr >= hotBase && in.Addr < metaBase {
+			spinLoads++
+		}
+	}
+	if faa == 0 || spinLoads == 0 {
+		t.Fatalf("barrier shape wrong: faa=%d spinLoads=%d", faa, spinLoads)
+	}
+	if spinLoads < faa {
+		t.Fatalf("fewer spin loads (%d) than arrivals (%d)", spinLoads, faa)
+	}
+}
+
+func TestSynthDeterministic(t *testing.T) {
+	p := MustGet("ticket")
+	a := Generate(p, 2, 4000, 9)
+	b := Generate(p, 2, 4000, 9)
+	for c := range a {
+		if len(a[c]) != len(b[c]) {
+			t.Fatal("lengths differ")
+		}
+		for i := range a[c] {
+			if a[c][i] != b[c][i] {
+				t.Fatalf("instr %d differs", i)
+			}
+		}
+	}
+}

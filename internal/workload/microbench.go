@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"fmt"
+
+	"rowsim/internal/trace"
+	"rowsim/internal/xrand"
+)
+
+// MicrobenchVariant selects one bar of the paper's Fig. 2: an RMW
+// flavour, with or without the x86 lock prefix, with or without
+// explicit mfences around it.
+type MicrobenchVariant struct {
+	Op     trace.AtomicKind
+	Locked bool // lock prefix present
+	Fenced bool // explicit mfence before and after
+}
+
+// String matches the figure's labels, e.g. "lock FAA +mfence".
+func (v MicrobenchVariant) String() string {
+	s := v.Op.String()
+	if v.Locked {
+		s = "lock " + s
+	}
+	if v.Fenced {
+		s += " +mfence"
+	}
+	return s
+}
+
+// MicrobenchVariants enumerates the twelve Fig. 2 bars in the paper's
+// order: FAA, CAS, SWAP, each plain/locked and without/with fences.
+func MicrobenchVariants() []MicrobenchVariant {
+	var vs []MicrobenchVariant
+	for _, op := range []trace.AtomicKind{trace.FAA, trace.CAS, trace.SWAP} {
+		for _, locked := range []bool{false, true} {
+			for _, fenced := range []bool{false, true} {
+				vs = append(vs, MicrobenchVariant{Op: op, Locked: locked, Fenced: fenced})
+			}
+		}
+	}
+	return vs
+}
+
+// GenerateMicrobench builds the Section II-A microbenchmark trace: a
+// single thread performing the RMW on randomly selected elements of
+// an array far larger than the caches, so every iteration misses and
+// the memory-level parallelism across iterations dominates. Each
+// iteration is: a couple of index-computation ALU ops, then the RMW
+// (one atomic instruction when locked, a load/op/store sequence when
+// plain), optionally bracketed by mfences.
+func GenerateMicrobench(v MicrobenchVariant, iterations int, seed uint64) trace.Program {
+	const (
+		arrayBytes = 64 << 20 // exceeds L1+L2+L3 by far
+		elemSize   = 8
+	)
+	rng := xrand.New(seed)
+	prog := make(trace.Program, 0, iterations*8)
+	base := uint64(privateBase)
+
+	pcIdx := uint64(codeBase)
+	pc := func() uint64 { p := pcIdx; pcIdx += 4; return p }
+	// Stable per-site PCs: build one iteration's PC layout and reuse.
+	type slotPC struct{ a, b, f1, f2, ld, op, st uint64 }
+	pcs := slotPC{a: pc(), b: pc(), f1: pc(), f2: pc(), ld: pc(), op: pc(), st: pc()}
+
+	for i := 0; i < iterations; i++ {
+		addr := base + uint64(rng.Intn(arrayBytes/elemSize))*elemSize
+		// Index computation.
+		prog = append(prog,
+			trace.Instr{PC: pcs.a, Kind: trace.IntOp, Src1: 1, Dst: 2},
+			trace.Instr{PC: pcs.b, Kind: trace.IntOp, Src1: 2, Dst: 3},
+		)
+		if v.Fenced {
+			prog = append(prog, trace.Instr{PC: pcs.f1, Kind: trace.Fence})
+		}
+		if v.Locked || v.Op == trace.SWAP {
+			// With the lock prefix (or xchgl, which always locks) the
+			// RMW is a single atomic instruction.
+			prog = append(prog, trace.Instr{
+				PC: pcs.op, Kind: trace.Atomic, Src1: 3, Dst: 4,
+				Addr: addr, Size: elemSize, AtomicOp: v.Op, NoLockPrefix: !v.Locked,
+			})
+		} else {
+			// Plain RMW: load, operate, store.
+			prog = append(prog,
+				trace.Instr{PC: pcs.ld, Kind: trace.Load, Src1: 3, Dst: 4, Addr: addr, Size: elemSize},
+				trace.Instr{PC: pcs.op, Kind: trace.IntOp, Src1: 4, Dst: 5},
+				trace.Instr{PC: pcs.st, Kind: trace.Store, Src1: 5, Src2: 3, Addr: addr, Size: elemSize},
+			)
+		}
+		if v.Fenced {
+			prog = append(prog, trace.Instr{PC: pcs.f2, Kind: trace.Fence})
+		}
+	}
+	return prog
+}
+
+// MicrobenchIterations extracts the iteration count implied by a
+// generated program and variant (used to report cycles/iteration).
+func MicrobenchIterations(prog trace.Program, v MicrobenchVariant) int {
+	perIter := 3 // 2 ALU + 1 atomic
+	if !(v.Locked || v.Op == trace.SWAP) {
+		perIter = 5
+	}
+	if v.Fenced {
+		perIter += 2
+	}
+	if len(prog)%perIter != 0 {
+		panic(fmt.Sprintf("workload: program length %d not a multiple of %d", len(prog), perIter))
+	}
+	return len(prog) / perIter
+}

@@ -1,0 +1,120 @@
+package xrand
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same seed diverged at step %d", i)
+		}
+	}
+}
+
+func TestDifferentSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("%d collisions between different seeds", same)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		r := New(seed)
+		bound := int(n%1000) + 1
+		for i := 0; i < 100; i++ {
+			v := r.Intn(bound)
+			if v < 0 || v >= bound {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(5)
+	const n = 100000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if r.Bool(0.3) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if frac < 0.28 || frac > 0.32 {
+		t.Fatalf("Bool(0.3) frequency %.3f outside [0.28,0.32]", frac)
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(77)
+	const n = 50000
+	sum := 0
+	for i := 0; i < n; i++ {
+		v := r.Geometric(6)
+		if v < 1 {
+			t.Fatalf("Geometric returned %d < 1", v)
+		}
+		sum += v
+	}
+	mean := float64(sum) / n
+	if mean < 4.5 || mean > 7.5 {
+		t.Fatalf("Geometric(6) mean %.2f outside [4.5,7.5]", mean)
+	}
+}
+
+func TestGeometricDegenerate(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 100; i++ {
+		if v := r.Geometric(0.5); v != 1 {
+			t.Fatalf("Geometric(<=1) = %d, want 1", v)
+		}
+	}
+}
+
+func TestUniformity(t *testing.T) {
+	// Chi-square-ish sanity: 16 buckets over Intn(16).
+	r := New(123)
+	var buckets [16]int
+	const n = 160000
+	for i := 0; i < n; i++ {
+		buckets[r.Intn(16)]++
+	}
+	for i, c := range buckets {
+		if c < n/16*9/10 || c > n/16*11/10 {
+			t.Fatalf("bucket %d count %d deviates more than 10%% from %d", i, c, n/16)
+		}
+	}
+}
