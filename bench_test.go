@@ -37,11 +37,11 @@ func benchOptions() experiments.Options {
 func BenchmarkFig1EagerVsLazy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
-		l := r.Run("sps", experiments.VarLazy)
+		e := r.MustRun("sps", experiments.VarEager)
+		l := r.MustRun("sps", experiments.VarLazy)
 		b.ReportMetric(experiments.Norm(l.Cycles, e.Cycles), "lazy/eager(sps)")
-		e = r.Run("canneal", experiments.VarEager)
-		l = r.Run("canneal", experiments.VarLazy)
+		e = r.MustRun("canneal", experiments.VarEager)
+		l = r.MustRun("canneal", experiments.VarLazy)
 		b.ReportMetric(experiments.Norm(l.Cycles, e.Cycles), "lazy/eager(canneal)")
 	}
 }
@@ -59,8 +59,8 @@ func BenchmarkFig2Microbench(b *testing.B) {
 func BenchmarkFig4IndependentInstrs(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
-		l := r.Run("sps", experiments.VarLazy)
+		e := r.MustRun("sps", experiments.VarEager)
+		l := r.MustRun("sps", experiments.VarLazy)
 		b.ReportMetric(e.OlderUnexecAtEager, "older-unexec@eager")
 		b.ReportMetric(l.YoungerStartedAtLazy, "younger-started@lazy")
 	}
@@ -69,7 +69,7 @@ func BenchmarkFig4IndependentInstrs(b *testing.B) {
 func BenchmarkFig5AtomicIntensity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		res := r.Run("sps", experiments.VarEager)
+		res := r.MustRun("sps", experiments.VarEager)
 		b.ReportMetric(res.AtomicsPer10K, "atomics/10k")
 		b.ReportMetric(res.ContendedFrac*100, "%contended")
 	}
@@ -78,7 +78,7 @@ func BenchmarkFig5AtomicIntensity(b *testing.B) {
 func BenchmarkFig6LatencyBreakdown(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
+		e := r.MustRun("sps", experiments.VarEager)
 		b.ReportMetric(e.DispatchToIssue, "disp->issue")
 		b.ReportMetric(e.IssueToLock, "issue->lock")
 		b.ReportMetric(e.LockToUnlock, "lock->unlock")
@@ -88,10 +88,10 @@ func BenchmarkFig6LatencyBreakdown(b *testing.B) {
 func BenchmarkFig9RoWVariants(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
+		e := r.MustRun("sps", experiments.VarEager)
 		best := 2.0
 		for _, v := range []experiments.Variant{experiments.VarDirUD, experiments.VarDirSat} {
-			n := experiments.Norm(r.Run("sps", v).Cycles, e.Cycles)
+			n := experiments.Norm(r.MustRun("sps", v).Cycles, e.Cycles)
 			if n < best {
 				best = n
 			}
@@ -106,7 +106,7 @@ func BenchmarkFig10ThresholdSweep(b *testing.B) {
 		for _, th := range []int{0, 400, -2} {
 			v := experiments.VarDirUD
 			v.Threshold = th
-			r.Run("sps", v)
+			r.MustRun("sps", v)
 		}
 	}
 }
@@ -114,8 +114,8 @@ func BenchmarkFig10ThresholdSweep(b *testing.B) {
 func BenchmarkFig11MissLatency(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
-		l := r.Run("sps", experiments.VarLazy)
+		e := r.MustRun("sps", experiments.VarEager)
+		l := r.MustRun("sps", experiments.VarLazy)
 		b.ReportMetric(e.MissLatency, "missLat(eager)")
 		b.ReportMetric(l.MissLatency, "missLat(lazy)")
 	}
@@ -124,7 +124,7 @@ func BenchmarkFig11MissLatency(b *testing.B) {
 func BenchmarkFig12PredictorAccuracy(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		res := r.Run("sps", experiments.VarDirUD)
+		res := r.MustRun("sps", experiments.VarDirUD)
 		b.ReportMetric(res.PredAccuracy*100, "%accuracy(U/D)")
 	}
 }
@@ -134,8 +134,8 @@ func BenchmarkFig13Forwarding(b *testing.B) {
 		r := experiments.NewRunner(experiments.Options{
 			Cores: 8, Instrs: 3000, Seed: 1, Workloads: []string{"cq"},
 		})
-		e := r.Run("cq", experiments.VarEager)
-		f := r.Run("cq", experiments.VarDirUDFwd)
+		e := r.MustRun("cq", experiments.VarEager)
+		f := r.MustRun("cq", experiments.VarDirUDFwd)
 		b.ReportMetric(experiments.Norm(f.Cycles, e.Cycles), "RoW+Fwd/eager(cq)")
 		b.ReportMetric(float64(f.ForwardedAtomics), "forwarded")
 	}
@@ -144,8 +144,8 @@ func BenchmarkFig13Forwarding(b *testing.B) {
 func BenchmarkSummaryHeadline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		r := experiments.NewRunner(benchOptions())
-		e := r.Run("sps", experiments.VarEager)
-		w := r.Run("sps", experiments.VarDirSatFwd)
+		e := r.MustRun("sps", experiments.VarEager)
+		w := r.MustRun("sps", experiments.VarDirSatFwd)
 		b.ReportMetric(experiments.Norm(w.Cycles, e.Cycles), "RoW/eager(sps)")
 	}
 }

@@ -1,0 +1,126 @@
+// Command rowtorture runs the randomized protocol torture sweep, or
+// reproduces a single failing run from its printed seed line.
+//
+// Sweep mode (the default):
+//
+//	rowtorture -n 200 -seed 7 -workers 8
+//
+// runs 200 randomized (seed × workload × variant × fault-config)
+// simulations, verifying the coherence invariants during each run and
+// replaying a sample for byte-identical determinism. Every failure is
+// printed as a one-line re-runnable reproduction.
+//
+// Reproduction mode (triggered by -wl):
+//
+//	rowtorture -seed 0x3a41 -wl cq -variant "RW+Dir_Sat" -cores 8 -instrs 2500 -faults "jitter=0.5:16"
+//
+// re-executes exactly that run and prints its outcome.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"rowsim/internal/faults"
+	"rowsim/internal/torture"
+)
+
+func main() {
+	var (
+		n       = flag.Int("n", 100, "sweep: number of randomized configs")
+		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		seed    = flag.Uint64("seed", 1, "sweep master seed, or the trace seed in repro mode")
+		wl      = flag.String("wl", "", "repro mode: workload name (enables repro mode)")
+		variant = flag.String("variant", "Eager", "repro mode: variant name")
+		cores   = flag.String("cores", "4,8", "core-count choices (sweep) or the core count (repro)")
+		instrs  = flag.String("instrs", "1000,2500", "per-core instruction choices (sweep) or the count (repro)")
+		spec    = flag.String("faults", "none", "repro mode: fault spec, e.g. jitter=0.5:16,reorder=0.05:64")
+		replay  = flag.Int("replay-every", 5, "replay every Nth run for determinism (0 = off)")
+		check   = flag.Uint64("check-every", 4096, "coherence-invariant check interval in cycles (0 = off)")
+		budget  = flag.Uint64("max-cycles", 20_000_000, "per-run cycle budget")
+		verbose = flag.Bool("v", false, "print a line per run")
+	)
+	flag.Parse()
+
+	if *wl != "" {
+		os.Exit(repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget))
+	}
+
+	opt := torture.Options{
+		Runs:        *n,
+		Workers:     *workers,
+		Seed:        *seed,
+		Cores:       parseInts(*cores),
+		Instrs:      parseInts(*instrs),
+		ReplayEvery: *replay,
+		CheckEvery:  *check,
+		MaxCycles:   *budget,
+	}
+	if *verbose {
+		opt.Progress = func(msg string) { fmt.Println(msg) }
+	}
+	sum := torture.Torture(opt)
+	fmt.Println(sum)
+	if !sum.OK() {
+		os.Exit(1)
+	}
+}
+
+// repro re-executes one run and reports its outcome; the exit code is
+// 0 only when the run completes cleanly.
+func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, budget uint64) int {
+	fc, err := faults.ParseSpec(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	rs := torture.RunSpec{
+		Seed:       seed,
+		Workload:   wl,
+		Variant:    variant,
+		Cores:      one(coresStr),
+		Instrs:     one(instrsStr),
+		Faults:     fc,
+		CheckEvery: check,
+		MaxCycles:  budget,
+	}
+	fmt.Println(rs.ReproLine())
+	res, err := torture.Execute(rs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "FAIL [%s]\n%v\n", torture.Classify(err), err)
+		return 1
+	}
+	fmt.Printf("ok: %d cycles, %d committed, IPC %.2f, %d network messages\n",
+		res.Cycles, res.Committed, res.IPC, res.NetworkMessages)
+	return 0
+}
+
+func parseInts(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.Atoi(part)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad integer list %q: %v\n", s, err)
+			os.Exit(2)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// one parses a single integer flag that shares syntax with a list.
+func one(s string) int {
+	vs := parseInts(s)
+	if len(vs) != 1 {
+		fmt.Fprintf(os.Stderr, "repro mode wants a single value, got %q\n", s)
+		os.Exit(2)
+	}
+	return vs[0]
+}

@@ -185,6 +185,8 @@ type Private struct {
 	pfDegree  int
 	pfConfMin int
 
+	sink *coherence.ErrorSink
+
 	Stats Stats
 }
 
@@ -211,6 +213,28 @@ func NewPrivate(coreID int, cfg *config.Config, net coherence.Network, client Cl
 	}
 	p.Stats.MissHist = stats.NewHistogram(1 << 16)
 	return p
+}
+
+// SetErrorSink wires the system-wide protocol-error sink. Without one,
+// violations panic (fail-fast for components driven directly by tests).
+func (p *Private) SetErrorSink(s *coherence.ErrorSink) { p.sink = s }
+
+// fail raises a structured protocol error for this endpoint.
+func (p *Private) fail(m *coherence.Msg, reason string) {
+	pe := &coherence.ProtocolError{
+		Cycle:     p.now,
+		Component: fmt.Sprintf("cache %d", p.coreID),
+		Reason:    reason,
+	}
+	if m != nil {
+		pe.Op = m.String()
+		pe.Line = m.Line
+		if ms, ok := p.mshrs[m.Line]; ok {
+			pe.State = fmt.Sprintf("mshr{write=%v dataArrived=%v grant=%d acks=%d waiters=%d sentAt=%d}",
+				ms.write, ms.dataArrived, ms.grant, ms.pendingAcks, len(ms.waiters), ms.sentAt)
+		}
+	}
+	coherence.Raise(p.sink, pe)
 }
 
 // Line masks an address to its cacheline address.
@@ -453,7 +477,8 @@ func (p *Private) handle(m *coherence.Msg) {
 	case coherence.MsgFarDone:
 		ws := p.pendingFar[m.Line]
 		if len(ws) == 0 {
-			panic(fmt.Sprintf("cache %d: FarDone without a pending far RMW %s", p.coreID, m))
+			p.fail(m, "FarDone without a pending far RMW")
+			return
 		}
 		w := ws[0]
 		if len(ws) == 1 {
@@ -463,7 +488,7 @@ func (p *Private) handle(m *coherence.Msg) {
 		}
 		p.client.MemResp(w.tag, RespInfo{Line: m.Line, Latency: p.now - w.at})
 	default:
-		panic(fmt.Sprintf("cache %d: unexpected message %s", p.coreID, m))
+		p.fail(m, "unexpected message type")
 	}
 }
 
@@ -472,7 +497,8 @@ func (p *Private) handleData(m *coherence.Msg) {
 	if !ok {
 		// Response for a line whose MSHR disappeared cannot happen:
 		// MSHRs only retire on completion.
-		panic(fmt.Sprintf("cache %d: data without MSHR %s", p.coreID, m))
+		p.fail(m, "Data response without a matching MSHR")
+		return
 	}
 	ms.dataArrived = true
 	ms.grant = m.Grant
@@ -546,7 +572,8 @@ func (p *Private) handleExternal(m *coherence.Msg, write bool) {
 		if prev, ok := p.stalled[m.Line]; ok {
 			// The directory serializes transactions per line, so at
 			// most one external request can be outstanding.
-			panic(fmt.Sprintf("cache %d: second stalled external %s (have %s)", p.coreID, m, prev.msg))
+			p.fail(m, fmt.Sprintf("second stalled external request (already have %s)", prev.msg))
+			return
 		}
 		p.stalled[m.Line] = &stalledExt{msg: m, stallAt: p.now}
 		return
@@ -583,7 +610,7 @@ func (p *Private) serveExternal(m *coherence.Msg) {
 			Requestor: m.Requestor, Grant: coherence.GrantS, FromPrivate: true,
 		}, uint64(p.l1Hit))
 	default:
-		panic(fmt.Sprintf("cache %d: cannot serve external %s", p.coreID, m))
+		p.fail(m, "cannot serve external request type")
 	}
 }
 
@@ -672,6 +699,37 @@ func (p *Private) Tick(cycle uint64) {
 // external requests (quiescence check).
 func (p *Private) PendingWork() bool {
 	return len(p.mshrs) > 0 || len(p.events) > 0 || len(p.stalled) > 0 || len(p.pendingFar) > 0
+}
+
+// OldestMiss returns the line of the oldest outstanding demand miss or
+// far RMW, with a short description (deadlock diagnostics). ok is false
+// when nothing is outstanding.
+func (p *Private) OldestMiss() (line uint64, desc string, ok bool) {
+	best := ^uint64(0)
+	for l, m := range p.mshrs {
+		if m.sentAt < best || (m.sentAt == best && l < line) {
+			best = m.sentAt
+			line = l
+			op := "GetS"
+			if m.write {
+				op = "GetX"
+			}
+			desc = fmt.Sprintf("%s sent at cycle %d (dataArrived=%v acks=%d)", op, m.sentAt, m.dataArrived, m.pendingAcks)
+			ok = true
+		}
+	}
+	for l, ws := range p.pendingFar {
+		if len(ws) == 0 {
+			continue
+		}
+		if ws[0].at < best || (ws[0].at == best && l < line) {
+			best = ws[0].at
+			line = l
+			desc = fmt.Sprintf("GetFar sent at cycle %d (%d queued)", ws[0].at, len(ws))
+			ok = true
+		}
+	}
+	return line, desc, ok
 }
 
 // HasStalledExternal reports whether an external request is stalled on

@@ -68,6 +68,10 @@ type Directory struct {
 
 	lines map[uint64]*dirEntry
 
+	sink *ErrorSink
+	now  uint64
+	hook func(*Msg) *Msg
+
 	Stats DirStats
 }
 
@@ -88,6 +92,45 @@ func NewDirectory(nodeID, bank int, net Network, l3SizeBytes, l3Ways, lineBytes,
 // NodeID returns the bank's network node id.
 func (d *Directory) NodeID() int { return d.nodeID }
 
+// SetErrorSink wires the system-wide protocol-error sink. Without one,
+// violations panic (fail-fast for components driven directly by tests).
+func (d *Directory) SetErrorSink(s *ErrorSink) { d.sink = s }
+
+// SetCycle stamps the bank's local clock; the system calls it before
+// handling the cycle's drained messages so errors carry the cycle.
+func (d *Directory) SetCycle(c uint64) { d.now = c }
+
+// SetTestHook installs a message filter applied before Handle processes
+// each message. Tests use it to seed protocol bugs (mutate or swallow a
+// message) and verify they surface as structured ProtocolErrors. A nil
+// return swallows the message.
+func (d *Directory) SetTestHook(f func(*Msg) *Msg) { d.hook = f }
+
+// fail raises a structured protocol error for this bank.
+func (d *Directory) fail(m *Msg, e *dirEntry, reason string) {
+	pe := &ProtocolError{
+		Cycle:     d.now,
+		Component: fmt.Sprintf("directory bank %d", d.bank),
+		Reason:    reason,
+	}
+	if m != nil {
+		pe.Op = m.String()
+		pe.Line = m.Line
+	}
+	if e != nil {
+		pe.State = e.describe()
+	}
+	Raise(d.sink, pe)
+}
+
+// describe renders the entry's transaction state for error reports.
+func (e *dirEntry) describe() string {
+	return fmt.Sprintf("state=%d owner=%d sharers=%#x blocked=%v pend={req=%d write=%v far=%v acks=%d data=%v} waiting=%d",
+		e.state, e.owner, e.sharers, e.blocked,
+		e.pend.requestor, e.pend.isWrite, e.pend.far != nil, e.pend.farAcks, e.pend.farData,
+		len(e.waiting))
+}
+
 func (d *Directory) entry(line uint64) *dirEntry {
 	e, ok := d.lines[line]
 	if !ok {
@@ -100,6 +143,11 @@ func (d *Directory) entry(line uint64) *dirEntry {
 // Handle processes one incoming message. The system calls it for every
 // message drained from this bank's network inbox.
 func (d *Directory) Handle(m *Msg) {
+	if d.hook != nil {
+		if m = d.hook(m); m == nil {
+			return
+		}
+	}
 	switch m.Type {
 	case MsgGetS, MsgGetX:
 		e := d.entry(m.Line)
@@ -136,7 +184,7 @@ func (d *Directory) Handle(m *Msg) {
 	case MsgData:
 		d.farData(m)
 	default:
-		panic(fmt.Sprintf("directory %d: unexpected message %s", d.bank, m))
+		d.fail(m, d.lines[m.Line], "unexpected message type")
 	}
 }
 
@@ -154,7 +202,7 @@ func (d *Directory) serve(m *Msg, e *dirEntry) {
 	case MsgGetFar:
 		d.serveGetFar(m, e)
 	default:
-		panic(fmt.Sprintf("directory %d: cannot serve %s", d.bank, m))
+		d.fail(m, e, "cannot serve queued message type")
 	}
 }
 
@@ -206,7 +254,8 @@ func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
 func (d *Directory) farAck(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked || e.pend.far == nil {
-		panic(fmt.Sprintf("directory %d: stray InvAck %s", d.bank, m))
+		d.fail(m, e, "stray InvAck: no far recall in flight")
+		return
 	}
 	e.pend.farAcks--
 	if e.pend.farAcks == 0 && !e.pend.farData {
@@ -217,7 +266,8 @@ func (d *Directory) farAck(m *Msg) {
 func (d *Directory) farData(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked || e.pend.far == nil || !e.pend.farData {
-		panic(fmt.Sprintf("directory %d: stray Data %s", d.bank, m))
+		d.fail(m, e, "stray Data: no far recall awaiting owner data")
+		return
 	}
 	e.pend.farData = false
 	d.l3.Insert(m.Line, 0) // the recalled dirty line lands in the L3
@@ -341,10 +391,12 @@ func (d *Directory) handlePutX(m *Msg, e *dirEntry) {
 func (d *Directory) handleUnblock(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked {
-		panic(fmt.Sprintf("directory %d: unexpected %s for unblocked line", d.bank, m))
+		d.fail(m, e, "Unblock for a line with no transaction in flight")
+		return
 	}
 	if m.Src != e.pend.requestor {
-		panic(fmt.Sprintf("directory %d: %s from %d but pending requestor is %d", d.bank, m, m.Src, e.pend.requestor))
+		d.fail(m, e, fmt.Sprintf("Unblock from core %d but pending requestor is %d", m.Src, e.pend.requestor))
+		return
 	}
 	if m.Type == MsgUnblockX {
 		e.state = dirM
@@ -409,6 +461,38 @@ func (d *Directory) PendingWork() bool {
 
 // L3 exposes the bank's data array (for stats).
 func (d *Directory) L3() *sram.Array { return d.l3 }
+
+// WaitingOn reports, for a line with a transaction in flight, which
+// cores the bank is waiting on before the transaction can close: the
+// owner whose data recall or forward is outstanding, the sharers whose
+// invalidation acks are missing, or — when the protocol legwork is done
+// and only the requestor's Unblock is pending — the requestor itself.
+// ok is false when the line has no transaction in flight. The deadlock
+// diagnoser uses this to walk the wait-for chain.
+func (d *Directory) WaitingOn(line uint64) (desc string, cores []int, ok bool) {
+	e, present := d.lines[line]
+	if !present || !e.blocked {
+		return "", nil, false
+	}
+	switch {
+	case e.pend.farData:
+		return fmt.Sprintf("far recall: awaiting dirty data from owner %d", e.owner),
+			[]int{e.owner}, true
+	case e.pend.far != nil && e.pend.farAcks > 0:
+		for c := 0; c < 64; c++ {
+			if e.sharers&(1<<uint(c)) != 0 {
+				cores = append(cores, c)
+			}
+		}
+		return fmt.Sprintf("far recall: awaiting %d invalidation acks", e.pend.farAcks), cores, true
+	case e.state == dirM && e.owner >= 0 && e.owner != e.pend.requestor:
+		return fmt.Sprintf("forward to owner %d outstanding (requestor %d)", e.owner, e.pend.requestor),
+			[]int{e.owner}, true
+	default:
+		return fmt.Sprintf("awaiting Unblock from requestor %d", e.pend.requestor),
+			[]int{e.pend.requestor}, true
+	}
+}
 
 // DebugBlocked describes every blocked line (deadlock diagnostics).
 func (d *Directory) DebugBlocked() []string {

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"rowsim/internal/cache"
+	"rowsim/internal/coherence"
 	"rowsim/internal/config"
 	"rowsim/internal/predictor"
 	"rowsim/internal/sram"
@@ -237,6 +238,8 @@ type Core struct {
 	done       bool
 	finishedAt uint64
 
+	sink *coherence.ErrorSink
+
 	Stats Stats
 }
 
@@ -278,6 +281,22 @@ func nextPow2(n int) int {
 
 // AttachMemory wires the private cache hierarchy.
 func (c *Core) AttachMemory(m *cache.Private) { c.mem = m }
+
+// SetErrorSink wires the system-wide protocol-error sink. Without one,
+// invariant violations panic (fail-fast for direct component tests).
+func (c *Core) SetErrorSink(s *coherence.ErrorSink) { c.sink = s }
+
+// fail raises a structured error for a broken core invariant. The
+// pipeline state the error captures is what a postmortem needs: the
+// ROB head, queue occupancies and the drain flags.
+func (c *Core) fail(reason string) {
+	coherence.Raise(c.sink, &coherence.ProtocolError{
+		Cycle:     c.now,
+		Component: fmt.Sprintf("core %d", c.id),
+		Reason:    reason,
+		State:     c.String(),
+	})
+}
 
 // Mem returns the core's private cache (for stats).
 func (c *Core) Mem() *cache.Private { return c.mem }
@@ -341,7 +360,8 @@ func (c *Core) schedule(lat int, kind uint8, slot uint32, id uint64, token uint1
 		lat = 1
 	}
 	if lat >= wheelSize {
-		panic(fmt.Sprintf("core %d: latency %d exceeds wheel", c.id, lat))
+		c.fail(fmt.Sprintf("internal latency %d exceeds the %d-cycle execution wheel", lat, wheelSize))
+		lat = wheelSize - 1
 	}
 	b := (c.now + uint64(lat)) % wheelSize
 	c.wheel[b] = append(c.wheel[b], wheelEvent{slot: slot, id: id, token: token, kind: kind})

@@ -161,7 +161,7 @@ func (c *Core) MemResp(tag uint64, info cache.RespInfo) {
 	case trace.Atomic:
 		c.atomicLineArrived(e, slot, info)
 	default:
-		panic(fmt.Sprintf("core %d: unexpected MemResp for %s", c.id, e.in))
+		c.fail(fmt.Sprintf("unexpected MemResp for non-memory instruction %s", e.in))
 	}
 }
 
@@ -514,14 +514,14 @@ func (c *Core) flushFrom(pos int64) {
 		e := c.entry(p)
 		if e.lq >= 0 {
 			if e.lq != c.lqTail-1 {
-				panic(fmt.Sprintf("core %d: LQ rollback out of order", c.id))
+				c.fail(fmt.Sprintf("LQ rollback out of order (entry %d, tail %d)", e.lq, c.lqTail))
 			}
 			c.lq[e.lq%int64(len(c.lq))] = lqEntry{}
 			c.lqTail--
 		}
 		if e.sb >= 0 {
 			if e.sb != c.sbTail-1 {
-				panic(fmt.Sprintf("core %d: SB rollback out of order", c.id))
+				c.fail(fmt.Sprintf("SB rollback out of order (entry %d, tail %d)", e.sb, c.sbTail))
 			}
 			c.sb[e.sb%int64(len(c.sb))] = sbEntry{}
 			c.sbTail--

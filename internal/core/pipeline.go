@@ -149,7 +149,7 @@ func (c *Core) commit() {
 		switch e.in.Kind {
 		case trace.Load:
 			if e.lq != c.lqHead {
-				panic(fmt.Sprintf("core %d: LQ head mismatch (%d != %d)", c.id, e.lq, c.lqHead))
+				c.fail(fmt.Sprintf("LQ head mismatch at load retire (%d != %d)", e.lq, c.lqHead))
 			}
 			c.lq[c.lqHead%int64(len(c.lq))] = lqEntry{}
 			c.lqHead++
@@ -157,7 +157,7 @@ func (c *Core) commit() {
 			c.sb[e.sb%int64(len(c.sb))].committed = true
 		case trace.Atomic:
 			if e.lq != c.lqHead {
-				panic(fmt.Sprintf("core %d: LQ head mismatch at atomic (%d != %d)", c.id, e.lq, c.lqHead))
+				c.fail(fmt.Sprintf("LQ head mismatch at atomic retire (%d != %d)", e.lq, c.lqHead))
 			}
 			c.lq[c.lqHead%int64(len(c.lq))] = lqEntry{}
 			c.lqHead++
@@ -416,7 +416,8 @@ func (c *Core) issue() {
 		case trace.Atomic:
 			c.schedule(co.AGULatency, evAtomicAGU, ref.slot, e.id, e.token)
 		default:
-			panic(fmt.Sprintf("core %d: cannot issue %s", c.id, e.in))
+			c.fail(fmt.Sprintf("cannot issue unknown instruction kind %s", e.in))
+			continue
 		}
 	}
 	c.readyQ = kept

@@ -23,13 +23,13 @@ func AblationEntries(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(sizes))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl}
 		for i, n := range sizes {
 			v := VarDirUD
 			v.Name = fmt.Sprintf("RW+Dir_U/D(%de)", n)
 			v.PredEntries = n
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			norm := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], norm)
 			row = append(row, stats.F(norm))
@@ -59,11 +59,11 @@ func AblationUpdate(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(kinds))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl}
 		for i, k := range kinds {
 			v := rowVariant("RW+Dir_"+k.String(), config.DetectRWDir, k, false)
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			norm := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], norm)
 			row = append(row, stats.F(norm))

@@ -55,12 +55,12 @@ func TestRunnerMemoizes(t *testing.T) {
 	r := tinyRunner()
 	runs := 0
 	r.Progress = func(string) { runs++ }
-	r.Run("sps", VarEager)
-	r.Run("sps", VarEager)
+	r.MustRun("sps", VarEager)
+	r.MustRun("sps", VarEager)
 	if runs != 1 {
 		t.Fatalf("memoization broken: %d runs", runs)
 	}
-	r.Run("sps", VarLazy)
+	r.MustRun("sps", VarLazy)
 	if runs != 2 {
 		t.Fatalf("distinct variant not run: %d", runs)
 	}
@@ -77,8 +77,8 @@ func TestFig1ShapesHold(t *testing.T) {
 		t.Fatalf("missing rows:\n%s", out)
 	}
 	// The headline shape at any scale: eager beats lazy on canneal.
-	e := r.Run("canneal", VarEager)
-	l := r.Run("canneal", VarLazy)
+	e := r.MustRun("canneal", VarEager)
+	l := r.MustRun("canneal", VarLazy)
 	if l.Cycles <= e.Cycles {
 		t.Fatalf("canneal: lazy (%d) not slower than eager (%d)", l.Cycles, e.Cycles)
 	}
@@ -86,8 +86,8 @@ func TestFig1ShapesHold(t *testing.T) {
 
 func TestFig5IntensityOrdering(t *testing.T) {
 	r := tinyRunner()
-	sps := r.Run("sps", VarEager)
-	can := r.Run("canneal", VarEager)
+	sps := r.MustRun("sps", VarEager)
+	can := r.MustRun("canneal", VarEager)
 	if sps.AtomicsPer10K <= can.AtomicsPer10K {
 		t.Fatalf("sps intensity (%.1f) not above canneal (%.1f)", sps.AtomicsPer10K, can.AtomicsPer10K)
 	}
@@ -106,7 +106,7 @@ func TestFig6Breakdown(t *testing.T) {
 		t.Fatalf("headers = %v", tab.Headers)
 	}
 	// Lazy lock windows are minimal by construction.
-	l := r.Run("canneal", VarLazy)
+	l := r.MustRun("canneal", VarLazy)
 	if l.LockToUnlock > 20 {
 		t.Fatalf("lazy lock->unlock = %.0f, want small", l.LockToUnlock)
 	}

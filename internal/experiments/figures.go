@@ -18,8 +18,8 @@ func Fig1(r *Runner) *stats.Table {
 	}
 	var ratios []float64
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
-		l := r.Run(wl, VarLazy)
+		e := r.MustRun(wl, VarEager)
+		l := r.MustRun(wl, VarLazy)
 		ratio := Norm(l.Cycles, e.Cycles)
 		ratios = append(ratios, ratio)
 		t.AddRow(wl, fmt.Sprint(e.Cycles), fmt.Sprint(l.Cycles), stats.F(ratio))
@@ -39,8 +39,8 @@ func Fig4(r *Runner) *stats.Table {
 	}
 	var olds, youngs []float64
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
-		l := r.Run(wl, VarLazy)
+		e := r.MustRun(wl, VarEager)
+		l := r.MustRun(wl, VarLazy)
 		olds = append(olds, e.OlderUnexecAtEager)
 		youngs = append(youngs, l.YoungerStartedAtLazy)
 		t.AddRow(wl, stats.F1(e.OlderUnexecAtEager), stats.F1(l.YoungerStartedAtLazy))
@@ -63,7 +63,7 @@ func Fig5(r *Runner) *stats.Table {
 	eagerDir.Name = "eager-detect-RW+Dir"
 	eagerDir.Detection = config.DetectRWDir
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, eagerDir)
+		e := r.MustRun(wl, eagerDir)
 		t.AddRow(wl, stats.F1(e.AtomicsPer10K), stats.Pct(e.ContendedFrac))
 	}
 	return t
@@ -77,8 +77,8 @@ func Fig6(r *Runner) *stats.Table {
 		Headers: []string{"workload", "E:disp->issue", "E:issue->lock", "E:lock->unlock", "L:disp->issue", "L:issue->lock", "L:lock->unlock"},
 	}
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
-		l := r.Run(wl, VarLazy)
+		e := r.MustRun(wl, VarEager)
+		l := r.MustRun(wl, VarLazy)
 		t.AddRow(wl,
 			stats.F1(e.DispatchToIssue), stats.F1(e.IssueToLock), stats.F1(e.LockToUnlock),
 			stats.F1(l.DispatchToIssue), stats.F1(l.IssueToLock), stats.F1(l.LockToUnlock))
@@ -103,10 +103,10 @@ func Fig9(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(Fig9Variants))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl, "1.000"}
 		for i, v := range Fig9Variants {
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			n := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], n)
 			row = append(row, stats.F(n))
@@ -142,13 +142,13 @@ func Fig10(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(Fig10Thresholds))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl}
 		for i, th := range Fig10Thresholds {
 			v := VarDirUD
 			v.Name = fmt.Sprintf("RW+Dir_U/D(th=%d)", th)
 			v.Threshold = th
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			n := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], n)
 			row = append(row, stats.F(n))
@@ -172,10 +172,10 @@ func Fig11(r *Runner) *stats.Table {
 	}
 	for _, wl := range r.opt.Workloads {
 		t.AddRow(wl,
-			stats.F1(r.Run(wl, VarEager).MissLatency),
-			stats.F1(r.Run(wl, VarLazy).MissLatency),
-			stats.F1(r.Run(wl, VarDirUD).MissLatency),
-			stats.F1(r.Run(wl, VarDirSat).MissLatency))
+			stats.F1(r.MustRun(wl, VarEager).MissLatency),
+			stats.F1(r.MustRun(wl, VarLazy).MissLatency),
+			stats.F1(r.MustRun(wl, VarDirUD).MissLatency),
+			stats.F1(r.MustRun(wl, VarDirSat).MissLatency))
 	}
 	return t
 }
@@ -189,8 +189,8 @@ func Fig12(r *Runner) *stats.Table {
 	}
 	var ud, sat []float64
 	for _, wl := range r.opt.Workloads {
-		u := r.Run(wl, VarDirUD).PredAccuracy
-		s := r.Run(wl, VarDirSat).PredAccuracy
+		u := r.MustRun(wl, VarDirUD).PredAccuracy
+		s := r.MustRun(wl, VarDirSat).PredAccuracy
 		ud = append(ud, u)
 		sat = append(sat, s)
 		t.AddRow(wl, stats.Pct(u), stats.Pct(s))
@@ -216,10 +216,10 @@ func Fig13(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(Fig13Variants))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl, "1.000"}
 		for i, v := range Fig13Variants {
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			n := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], n)
 			row = append(row, stats.F(n))
@@ -249,9 +249,9 @@ func Summary(r *Runner) *stats.Table {
 		var re, rl []float64
 		best = 1
 		for _, wl := range wls {
-			e := r.Run(wl, VarEager)
-			l := r.Run(wl, VarLazy)
-			w := r.Run(wl, v)
+			e := r.MustRun(wl, VarEager)
+			l := r.MustRun(wl, VarLazy)
+			w := r.MustRun(wl, v)
 			ne := Norm(w.Cycles, e.Cycles)
 			re = append(re, ne)
 			rl = append(rl, Norm(w.Cycles, l.Cycles))

@@ -50,7 +50,7 @@ func Fig2(r *Runner) *stats.Table {
 				cfg.Core.AQSize = 1
 				cfg.Mem.MSHRs = 2
 			}
-			res := r.RunPrograms(cfg, []trace.Program{prog})
+			res := r.MustRunPrograms(cfg, []trace.Program{prog})
 			return float64(res.Cycles) / float64(iters)
 		}
 		t.AddRow(v.String(), stats.F1(run(false)), stats.F1(run(true)))

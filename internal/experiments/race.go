@@ -34,9 +34,9 @@ func Fig8Race(r *Runner) *stats.Table {
 
 	var ews, rws, dirs []float64
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, ew).ContendedFrac
-		w := r.Run(wl, rw).ContendedFrac
-		d := r.Run(wl, dir).ContendedFrac
+		e := r.MustRun(wl, ew).ContendedFrac
+		w := r.MustRun(wl, rw).ContendedFrac
+		d := r.MustRun(wl, dir).ContendedFrac
 		ews = append(ews, e)
 		rws = append(rws, w)
 		dirs = append(dirs, d)
@@ -61,13 +61,13 @@ func AblationAQSize(r *Runner) *stats.Table {
 	}
 	sums := make([][]float64, len(sizes))
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		row := []string{wl}
 		for i, n := range sizes {
 			v := VarDirUD
 			v.Name = fmt.Sprintf("RW+Dir_U/D(aq%d)", n)
 			v.AQSize = n
-			res := r.Run(wl, v)
+			res := r.MustRun(wl, v)
 			norm := Norm(res.Cycles, e.Cycles)
 			sums[i] = append(sums[i], norm)
 			row = append(row, stats.F(norm))
@@ -92,9 +92,9 @@ func LockTails(r *Runner) *stats.Table {
 	}
 	for _, wl := range r.opt.Workloads {
 		t.AddRow(wl,
-			stats.F1(r.Run(wl, VarEager).LockHoldP99),
-			stats.F1(r.Run(wl, VarLazy).LockHoldP99),
-			stats.F1(r.Run(wl, VarDirSat).LockHoldP99))
+			stats.F1(r.MustRun(wl, VarEager).LockHoldP99),
+			stats.F1(r.MustRun(wl, VarLazy).LockHoldP99),
+			stats.F1(r.MustRun(wl, VarDirSat).LockHoldP99))
 	}
 	return t
 }

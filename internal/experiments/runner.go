@@ -9,6 +9,7 @@ package experiments
 
 import (
 	"fmt"
+	"sync"
 
 	"rowsim/internal/config"
 	"rowsim/internal/sim"
@@ -115,11 +116,17 @@ func (v Variant) key() string {
 }
 
 // Runner executes and memoizes simulation runs: several figures share
-// the same eager/lazy/RoW runs.
+// the same eager/lazy/RoW runs. It is safe for concurrent use: the
+// memo map is mutex-protected, so the torture harness and parallel
+// figure runs can share one runner. Concurrent misses on the same key
+// may run the simulation twice (both arrive at the same result; the
+// memo is purely a performance optimization).
 type Runner struct {
 	opt   Options
+	mu    sync.Mutex
 	cache map[string]sim.Result
-	// Progress, when set, receives a line per completed run.
+	// Progress, when set, receives a line per completed run. It must
+	// itself be safe for concurrent use when the runner is shared.
 	Progress func(msg string)
 }
 
@@ -131,34 +138,70 @@ func NewRunner(opt Options) *Runner {
 // Options returns the effective (defaulted) options.
 func (r *Runner) Options() Options { return r.opt }
 
-// Run simulates one workload under one variant, memoized.
-func (r *Runner) Run(wl string, v Variant) sim.Result {
+// Run simulates one workload under one variant, memoized. It returns
+// an error when the configuration is invalid or the run aborts (cycle
+// budget, deadlock, protocol violation).
+func (r *Runner) Run(wl string, v Variant) (sim.Result, error) {
 	key := wl + "#" + v.key()
-	if res, ok := r.cache[key]; ok {
-		return res
+	r.mu.Lock()
+	res, ok := r.cache[key]
+	r.mu.Unlock()
+	if ok {
+		return res, nil
 	}
-	p := workload.MustGet(wl)
+	p, err := workload.Get(wl)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	}
 	progs := workload.Generate(p, r.opt.Cores, r.opt.Instrs, r.opt.Seed)
 	cfg := v.Config(r.opt.Cores)
 	s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	res := s.MustRun()
+	res, err = s.Run()
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", wl, v.Name, err)
+	}
+	r.mu.Lock()
 	r.cache[key] = res
+	r.mu.Unlock()
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf("ran %-14s %-16s %12d cycles", wl, v.Name, res.Cycles))
+	}
+	return res, nil
+}
+
+// MustRun is Run for the figure harnesses, where an aborted run is a
+// bug in the simulator, not an expected condition.
+func (r *Runner) MustRun(wl string, v Variant) sim.Result {
+	res, err := r.Run(wl, v)
+	if err != nil {
+		panic(err)
 	}
 	return res
 }
 
 // RunPrograms simulates explicit programs (the microbenchmark path).
-func (r *Runner) RunPrograms(cfg *config.Config, progs []trace.Program) sim.Result {
+func (r *Runner) RunPrograms(cfg *config.Config, progs []trace.Program) (sim.Result, error) {
 	s, err := sim.New(cfg, progs)
 	if err != nil {
-		panic(fmt.Sprintf("experiments: %v", err))
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}
-	return s.MustRun()
+	res, err := s.Run()
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	}
+	return res, nil
+}
+
+// MustRunPrograms is RunPrograms with the figure-harness convention.
+func (r *Runner) MustRunPrograms(cfg *config.Config, progs []trace.Program) sim.Result {
+	res, err := r.RunPrograms(cfg, progs)
+	if err != nil {
+		panic(err)
+	}
+	return res
 }
 
 // Norm returns v normalized to base (the paper normalizes execution

@@ -30,10 +30,10 @@ func Scaling(r *Runner, workloads []string) *stats.Table {
 				Workloads: []string{wl},
 			})
 			sub.Progress = r.Progress
-			e := sub.Run(wl, VarEager)
-			l := sub.Run(wl, VarLazy)
-			s := sub.Run(wl, VarDirSat)
-			f := sub.Run(wl, VarDirSatFwd)
+			e := sub.MustRun(wl, VarEager)
+			l := sub.MustRun(wl, VarLazy)
+			s := sub.MustRun(wl, VarDirSat)
+			f := sub.MustRun(wl, VarDirSatFwd)
 			t.AddRow(wl, fmt.Sprint(n),
 				stats.F(Norm(l.Cycles, e.Cycles)),
 				stats.F(Norm(s.Cycles, e.Cycles)),
@@ -57,10 +57,10 @@ func FarVsNear(r *Runner) *stats.Table {
 	}
 	var ls, rs, fs []float64
 	for _, wl := range r.opt.Workloads {
-		e := r.Run(wl, VarEager)
-		l := Norm(r.Run(wl, VarLazy).Cycles, e.Cycles)
-		w := Norm(r.Run(wl, VarDirSatFwd).Cycles, e.Cycles)
-		f := Norm(r.Run(wl, far).Cycles, e.Cycles)
+		e := r.MustRun(wl, VarEager)
+		l := Norm(r.MustRun(wl, VarLazy).Cycles, e.Cycles)
+		w := Norm(r.MustRun(wl, VarDirSatFwd).Cycles, e.Cycles)
+		f := Norm(r.MustRun(wl, far).Cycles, e.Cycles)
 		ls, rs, fs = append(ls, l), append(rs, w), append(fs, f)
 		t.AddRow(wl, "1.000", stats.F(l), stats.F(w), stats.F(f))
 	}
@@ -83,13 +83,13 @@ func LockStudy(r *Runner) *stats.Table {
 		Headers: []string{"kernel", "eager-cycles", "lazy", "RoW(Sat)", "RoW(Sat+Fwd)", "far"},
 	}
 	for _, wl := range workload.SyncKernels {
-		e := r.Run(wl, VarEager)
+		e := r.MustRun(wl, VarEager)
 		t.AddRow(wl,
 			fmt.Sprint(e.Cycles),
-			stats.F(Norm(r.Run(wl, VarLazy).Cycles, e.Cycles)),
-			stats.F(Norm(r.Run(wl, VarDirSat).Cycles, e.Cycles)),
-			stats.F(Norm(r.Run(wl, VarDirSatFwd).Cycles, e.Cycles)),
-			stats.F(Norm(r.Run(wl, far).Cycles, e.Cycles)))
+			stats.F(Norm(r.MustRun(wl, VarLazy).Cycles, e.Cycles)),
+			stats.F(Norm(r.MustRun(wl, VarDirSat).Cycles, e.Cycles)),
+			stats.F(Norm(r.MustRun(wl, VarDirSatFwd).Cycles, e.Cycles)),
+			stats.F(Norm(r.MustRun(wl, far).Cycles, e.Cycles)))
 	}
 	return t
 }
@@ -131,9 +131,9 @@ func Stability(r *Runner, seeds []uint64, workloads []string) *stats.Table {
 				Workloads: []string{wl},
 			})
 			sub.Progress = r.Progress
-			e := sub.Run(wl, VarEager)
-			lazies = append(lazies, Norm(sub.Run(wl, VarLazy).Cycles, e.Cycles))
-			rows = append(rows, Norm(sub.Run(wl, VarDirSat).Cycles, e.Cycles))
+			e := sub.MustRun(wl, VarEager)
+			lazies = append(lazies, Norm(sub.MustRun(wl, VarLazy).Cycles, e.Cycles))
+			rows = append(rows, Norm(sub.MustRun(wl, VarDirSat).Cycles, e.Cycles))
 		}
 		t.AddRow(wl, span(lazies), span(rows))
 	}

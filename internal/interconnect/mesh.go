@@ -37,6 +37,26 @@ func (h *eventHeap) Pop() interface{} {
 	return e
 }
 
+// Perturber mutates message delivery for fault injection. The mesh
+// consults it on every send when installed (see faults.Injector).
+type Perturber interface {
+	// Perturb returns the extra source-side delays for each delivered
+	// copy of m: {0} delivers normally, multiple entries duplicate the
+	// message, and an empty slice drops it. The returned slice is only
+	// valid until the next call.
+	Perturb(m *coherence.Msg) []uint64
+}
+
+// traceDepth is how many recent messages the mesh remembers for the
+// trace attached to protocol-error reports.
+const traceDepth = 256
+
+// traceEntry is one remembered send.
+type traceEntry struct {
+	sentAt, arriveAt uint64
+	msg              coherence.Msg
+}
+
 // Mesh is a 2D mesh network. It implements coherence.Network.
 type Mesh struct {
 	cols, rows int
@@ -52,9 +72,24 @@ type Mesh struct {
 
 	inboxes [][]*coherence.Msg
 
+	perturb Perturber
+	// lastAt preserves per-(src,dst) FIFO delivery under fault
+	// injection: jitter may stretch a channel but never lets a younger
+	// message overtake an older one on the same ordered channel, which
+	// is the timing contract the directory protocol assumes.
+	lastAt []uint64
+
+	sink *coherence.ErrorSink
+
+	trace    []traceEntry
+	traceIdx int
+	traceN   int
+
 	// stats
 	messages uint64
 	hopsSum  uint64
+	dropped  uint64
+	dupes    uint64
 }
 
 // NewMesh builds a mesh holding the given number of nodes with the
@@ -83,6 +118,19 @@ func NewMesh(nodes, linkCycles, routerCycles, baseCycles int) *Mesh {
 // Nodes returns the number of attached nodes.
 func (m *Mesh) Nodes() int { return m.nodes }
 
+// SetPerturber installs a fault injector on the send path. Must be set
+// before the first message is sent.
+func (m *Mesh) SetPerturber(p Perturber) {
+	m.perturb = p
+	if p != nil && m.lastAt == nil {
+		m.lastAt = make([]uint64, m.nodes*m.nodes)
+	}
+}
+
+// SetErrorSink wires the system-wide protocol-error sink. Without one,
+// violations panic (fail-fast for components driven directly by tests).
+func (m *Mesh) SetErrorSink(s *coherence.ErrorSink) { m.sink = s }
+
 // Hops returns the Manhattan distance between two nodes.
 func (m *Mesh) Hops(a, b int) int {
 	ax, ay := a%m.cols, a/m.cols
@@ -109,17 +157,101 @@ func (m *Mesh) Send(msg *coherence.Msg) { m.SendAfter(msg, 0) }
 // SendAfter implements coherence.Network.
 func (m *Mesh) SendAfter(msg *coherence.Msg, extra uint64) {
 	if msg.Dst < 0 || msg.Dst >= m.nodes {
-		panic(fmt.Sprintf("interconnect: message to unknown node %d (%s)", msg.Dst, msg))
+		coherence.Raise(m.sink, &coherence.ProtocolError{
+			Cycle:     m.now,
+			Component: "mesh",
+			Line:      msg.Line,
+			Op:        msg.String(),
+			Reason:    fmt.Sprintf("message addressed to unknown node %d (have %d)", msg.Dst, m.nodes),
+		})
+		return
 	}
-	at := m.now + extra + m.Latency(msg.Src, msg.Dst)
+	if m.perturb == nil {
+		m.enqueue(msg, extra, 0)
+		return
+	}
+	delays := m.perturb.Perturb(msg)
+	if len(delays) == 0 {
+		m.dropped++
+		m.record(msg, 0) // a dropped message still shows in the trace
+		return
+	}
+	for i, d := range delays {
+		if i == 0 {
+			m.enqueue(msg, extra, d)
+			continue
+		}
+		// Duplicate deliveries get their own Msg: handlers may retain
+		// the pointer (stall queues), so copies must not alias.
+		m.dupes++
+		cp := *msg
+		m.enqueue(&cp, extra, d)
+	}
+}
+
+// enqueue schedules one delivery, preserving per-channel FIFO order
+// when fault injection is active.
+func (m *Mesh) enqueue(msg *coherence.Msg, extra, faultDelay uint64) {
+	at := m.now + extra + faultDelay + m.Latency(msg.Src, msg.Dst)
 	if at <= m.now {
 		at = m.now + 1
+	}
+	if m.lastAt != nil && msg.Src >= 0 && msg.Src < m.nodes {
+		ch := msg.Src*m.nodes + msg.Dst
+		if at < m.lastAt[ch] {
+			at = m.lastAt[ch]
+		}
+		m.lastAt[ch] = at
 	}
 	m.seq++
 	heap.Push(&m.events, event{at: at, seq: m.seq, msg: msg})
 	m.messages++
 	m.hopsSum += uint64(m.Hops(msg.Src, msg.Dst))
+	m.record(msg, at)
 }
+
+// record remembers the send in the trace ring (arriveAt 0 = dropped).
+func (m *Mesh) record(msg *coherence.Msg, arriveAt uint64) {
+	if m.trace == nil {
+		m.trace = make([]traceEntry, traceDepth)
+	}
+	m.trace[m.traceIdx] = traceEntry{sentAt: m.now, arriveAt: arriveAt, msg: *msg}
+	m.traceIdx = (m.traceIdx + 1) % traceDepth
+	if m.traceN < traceDepth {
+		m.traceN++
+	}
+}
+
+// RecentTrace renders the most recent sends touching the given line
+// (line 0 = all lines), oldest first, up to max entries. The system
+// attaches this to protocol-error reports.
+func (m *Mesh) RecentTrace(line uint64, max int) []string {
+	if m.trace == nil {
+		return nil
+	}
+	var out []string
+	for i := 0; i < m.traceN; i++ {
+		e := &m.trace[(m.traceIdx+traceDepth-m.traceN+i)%traceDepth]
+		if line != 0 && e.msg.Line != line {
+			continue
+		}
+		if e.arriveAt == 0 {
+			out = append(out, fmt.Sprintf("cycle %d: %s DROPPED", e.sentAt, e.msg.String()))
+		} else {
+			out = append(out, fmt.Sprintf("cycle %d: %s arrives %d", e.sentAt, e.msg.String(), e.arriveAt))
+		}
+	}
+	if len(out) > max {
+		out = out[len(out)-max:]
+	}
+	return out
+}
+
+// Dropped returns the number of messages removed by fault injection.
+func (m *Mesh) Dropped() uint64 { return m.dropped }
+
+// Duplicated returns the number of extra copies injected by faults.
+func (m *Mesh) Duplicated() uint64 { return m.dupes }
 
 // Tick advances the network to the given cycle, moving every message
 // that has arrived into its destination inbox.

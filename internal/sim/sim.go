@@ -12,6 +12,7 @@ import (
 	"rowsim/internal/coherence"
 	"rowsim/internal/config"
 	"rowsim/internal/core"
+	"rowsim/internal/faults"
 	"rowsim/internal/interconnect"
 	"rowsim/internal/trace"
 )
@@ -23,9 +24,14 @@ type System struct {
 	cores  []*core.Core
 	caches []*cache.Private
 	dirs   []*coherence.Directory
+	bankOf func(line uint64) int
+
+	sink     *coherence.ErrorSink
+	injector *faults.Injector
 
 	warmFilter func(core int, line uint64) bool
 	checkEvery uint64
+	watchdog   uint64
 
 	cycle uint64
 }
@@ -44,6 +50,24 @@ func WithWarmFilter(f func(core int, line uint64) bool) Option {
 // tests). A violation aborts the run with a diagnostic error.
 func WithInvariantChecks(interval uint64) Option {
 	return func(s *System) { s.checkEvery = interval }
+}
+
+// WithFaults installs a fault injector on the interconnect (see the
+// faults package). Legal fault mixes perturb timing only; illegal ones
+// (dup/drop) exercise failure detection.
+func WithFaults(cfg faults.Config) Option {
+	return func(s *System) {
+		s.injector = faults.New(cfg)
+		s.mesh.SetPerturber(s.injector)
+	}
+}
+
+// WithWatchdogWindow overrides the no-progress watchdog horizon
+// (cycles without a commit before the run aborts with a deadlock
+// report). Values at or below the 1024-cycle check cadence are raised
+// to one cadence. Intended for tests; the default suits real runs.
+func WithWatchdogWindow(cycles uint64) Option {
+	return func(s *System) { s.watchdog = cycles }
 }
 
 // New builds a system running one program per core. Cores without a
@@ -67,13 +91,16 @@ func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, er
 		return n + int((line>>lineShift)%uint64(banks))
 	}
 
-	s := &System{cfg: cfg, mesh: mesh}
+	s := &System{cfg: cfg, mesh: mesh, bankOf: bankOf, sink: &coherence.ErrorSink{}, watchdog: watchdogWindow}
+	mesh.SetErrorSink(s.sink)
 	for b := 0; b < banks; b++ {
-		s.dirs = append(s.dirs, coherence.NewDirectory(
+		d := coherence.NewDirectory(
 			n+b, b, mesh,
 			cfg.Mem.L3.SizeBytes, cfg.Mem.L3.Ways, cfg.Mem.LineBytes,
 			cfg.Mem.L3.HitCycles, cfg.Mem.DRAMCycles,
-		))
+		)
+		d.SetErrorSink(s.sink)
+		s.dirs = append(s.dirs, d)
 	}
 	for i := 0; i < n; i++ {
 		var prog trace.Program
@@ -83,6 +110,8 @@ func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, er
 		c := core.New(i, cfg, prog)
 		pc := cache.NewPrivate(i, cfg, mesh, c, bankOf)
 		c.AttachMemory(pc)
+		c.SetErrorSink(s.sink)
+		pc.SetErrorSink(s.sink)
 		s.cores = append(s.cores, c)
 		s.caches = append(s.caches, pc)
 	}
@@ -164,12 +193,19 @@ func (s *System) Warm(progs []trace.Program) {
 // commits something well within this many cycles.
 const watchdogWindow = 1 << 19
 
-// Run simulates until every core finishes its program. It returns an
-// error when the cycle budget is exhausted or the system stops making
-// progress (a protocol bug, never expected in a correct build).
+// Run simulates until every core finishes its program. It returns a
+// structured error when the cycle budget is exhausted
+// (*CycleLimitError), the system stops making progress
+// (*DeadlockError, with the wait-for chain), or a component detects a
+// protocol violation (*coherence.ProtocolError, with the message trace
+// for the affected line attached).
 func (s *System) Run() (Result, error) {
 	var lastCommitted uint64
 	lastProgress := uint64(0)
+	watchdog := s.watchdog
+	if watchdog < 1024 {
+		watchdog = 1024
+	}
 	for {
 		done := true
 		for _, c := range s.cores {
@@ -185,6 +221,7 @@ func (s *System) Run() (Result, error) {
 		cyc := s.cycle
 		s.mesh.Tick(cyc)
 		for i, d := range s.dirs {
+			d.SetCycle(cyc)
 			msgs := s.mesh.Drain(s.cfg.NumCores + i)
 			for _, m := range msgs {
 				d.Handle(m)
@@ -200,8 +237,12 @@ func (s *System) Run() (Result, error) {
 			c.Tick(cyc)
 		}
 
+		if pe := s.sink.Err(); pe != nil {
+			pe.Trace = s.mesh.RecentTrace(pe.Line, 32)
+			return Result{}, pe
+		}
 		if s.cfg.MaxCycles > 0 && cyc > s.cfg.MaxCycles {
-			return Result{}, fmt.Errorf("sim: exceeded MaxCycles=%d\n%s", s.cfg.MaxCycles, s.dump())
+			return Result{}, &CycleLimitError{MaxCycles: s.cfg.MaxCycles, Cycle: cyc, Dump: s.dump()}
 		}
 		if s.checkEvery > 0 && cyc%s.checkEvery == 0 {
 			if err := s.CheckCoherence(); err != nil {
@@ -216,12 +257,21 @@ func (s *System) Run() (Result, error) {
 			if committed != lastCommitted {
 				lastCommitted = committed
 				lastProgress = cyc
-			} else if cyc-lastProgress > watchdogWindow {
-				return Result{}, fmt.Errorf("sim: no progress for %d cycles at cycle %d\n%s", watchdogWindow, cyc, s.dump())
+			} else if cyc-lastProgress > watchdog {
+				return Result{}, s.diagnoseDeadlock(watchdog)
 			}
 		}
 	}
 	return s.collect(), nil
+}
+
+// FaultStats returns the injector's decision counts, or a zero value
+// when no faults are installed.
+func (s *System) FaultStats() faults.Stats {
+	if s.injector == nil {
+		return faults.Stats{}
+	}
+	return s.injector.Stats()
 }
 
 // MustRun runs and panics on simulation failure (experiment harness
@@ -273,8 +323,11 @@ func (s *System) CheckCoherence() error {
 		}
 		for _, h := range hs {
 			if h.state == cache.StateM || h.state == cache.StateE {
-				return fmt.Errorf("coherence violation: line %#x exclusive at core %d but held by %d caches (%v)",
-					line, h.core, len(hs), hs)
+				verr := &CoherenceViolationError{Line: line}
+				for _, hh := range hs {
+					verr.Holders = append(verr.Holders, Holder{Core: hh.core, State: hh.state})
+				}
+				return verr
 			}
 		}
 	}

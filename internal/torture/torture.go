@@ -1,0 +1,338 @@
+// Package torture is the randomized protocol torture harness: it runs
+// many (seed × workload × variant × fault-config) simulations across
+// worker goroutines, checks the coherence invariants during each run,
+// replays a sample of runs to verify deterministic reproduction, and
+// reports every failure as a one-line re-runnable command. It is the
+// regression safety net every perf or protocol change runs against.
+package torture
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"rowsim/internal/coherence"
+	"rowsim/internal/config"
+	"rowsim/internal/experiments"
+	"rowsim/internal/faults"
+	"rowsim/internal/sim"
+	"rowsim/internal/workload"
+	"rowsim/internal/xrand"
+)
+
+// Variants eligible for the sweep, by the names printed in repro
+// lines. Kept in a fixed order so seed-driven choices are stable.
+var variants = []experiments.Variant{
+	experiments.VarEager,
+	experiments.VarLazy,
+	experiments.VarDirUD,
+	experiments.VarDirSat,
+	experiments.VarDirSatFwd,
+	{Name: "Far", Policy: config.PolicyFar, Threshold: -1},
+}
+
+// VariantNames returns the sweep's variant names, in order.
+func VariantNames() []string {
+	names := make([]string, len(variants))
+	for i, v := range variants {
+		names[i] = v.Name
+	}
+	return names
+}
+
+// LookupVariant resolves a repro line's variant name.
+func LookupVariant(name string) (experiments.Variant, error) {
+	for _, v := range variants {
+		if v.Name == name {
+			return v, nil
+		}
+	}
+	return experiments.Variant{}, fmt.Errorf("torture: unknown variant %q (known: %v)", name, VariantNames())
+}
+
+// defaultWorkloads are the sweep's trace generators: the contended
+// workloads that stress the protocol hardest, plus the lock/barrier
+// kernels whose cache-locking traffic drives the Fig. 8 race.
+var defaultWorkloads = []string{
+	"cq", "sps", "pc", "tatp", "tpcc", "barnes",
+	"raytrace", "streamcluster", "tas", "ticket", "barrier",
+}
+
+// faultLevels are the legal fault mixes the sweep draws from
+// (weighted by repetition). Illegal modes (dup/drop) never enter the
+// sweep: they exist to exercise failure detection, not to pass.
+var faultLevels = []faults.Config{
+	{}, // no faults: the pure-timing baseline must always pass
+	{JitterProb: 0.1, JitterMax: 8},
+	{JitterProb: 0.5, JitterMax: 16},
+	{JitterProb: 0.25, JitterMax: 12, ReorderProb: 0.05, ReorderMax: 64},
+	{ReorderProb: 0.15, ReorderMax: 128},
+}
+
+// Options scales a torture sweep. The zero value is a sensible default
+// sweep of 100 runs.
+type Options struct {
+	Runs    int // number of randomized configs (default 100)
+	Workers int // concurrent simulations (default GOMAXPROCS)
+	Seed    uint64
+
+	Cores     []int    // core-count choices (default {4, 8})
+	Instrs    []int    // per-core instruction-count choices (default {1000, 2500})
+	Workloads []string // default: the contended set above
+
+	// ReplayEvery re-runs every Nth config and requires a byte-identical
+	// sim.Result — the determinism that makes repro lines trustworthy.
+	// 0 disables replay; default every 5th run.
+	ReplayEvery int
+
+	CheckEvery uint64 // coherence-invariant interval (default 4096)
+	MaxCycles  uint64 // per-run cycle budget (default 20M)
+
+	// Progress, when set, receives a line per completed run. Called
+	// from worker goroutines; must be safe for concurrent use.
+	Progress func(msg string)
+}
+
+func (o Options) withDefaults() Options {
+	if o.Runs == 0 {
+		o.Runs = 100
+	}
+	if o.Workers == 0 {
+		o.Workers = runtime.GOMAXPROCS(0)
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if len(o.Cores) == 0 {
+		o.Cores = []int{4, 8}
+	}
+	if len(o.Instrs) == 0 {
+		o.Instrs = []int{1000, 2500}
+	}
+	if len(o.Workloads) == 0 {
+		o.Workloads = defaultWorkloads
+	}
+	if o.ReplayEvery == 0 {
+		o.ReplayEvery = 5
+	}
+	if o.CheckEvery == 0 {
+		o.CheckEvery = 4096
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 20_000_000
+	}
+	return o
+}
+
+// RunSpec fully determines one torture run; its ReproLine re-runs it.
+type RunSpec struct {
+	Seed     uint64 // workload-trace seed
+	Workload string
+	Variant  string
+	Cores    int
+	Instrs   int
+	Faults   faults.Config
+
+	CheckEvery uint64
+	MaxCycles  uint64
+}
+
+// ReproLine renders the one-line reproduction command.
+func (s RunSpec) ReproLine() string {
+	return fmt.Sprintf("rowtorture -seed %#x -wl %s -variant %q -cores %d -instrs %d -faults %q",
+		s.Seed, s.Workload, s.Variant, s.Cores, s.Instrs, s.Faults.Spec())
+}
+
+// Execute performs one run of the spec and returns its result. All
+// failure modes come back as errors: protocol violations
+// (*coherence.ProtocolError), deadlocks (*sim.DeadlockError), budget
+// exhaustion (*sim.CycleLimitError) and invariant breaks
+// (*sim.CoherenceViolationError).
+func Execute(spec RunSpec) (sim.Result, error) {
+	v, err := LookupVariant(spec.Variant)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	p, err := workload.Get(spec.Workload)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	progs := workload.Generate(p, spec.Cores, spec.Instrs, spec.Seed)
+	cfg := v.Config(spec.Cores)
+	if spec.MaxCycles > 0 {
+		cfg.MaxCycles = spec.MaxCycles
+	}
+	opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(p))}
+	if spec.CheckEvery > 0 {
+		opts = append(opts, sim.WithInvariantChecks(spec.CheckEvery))
+	}
+	if spec.Faults.Enabled() {
+		opts = append(opts, sim.WithFaults(spec.Faults))
+	}
+	s, err := sim.New(cfg, progs, opts...)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return s.Run()
+}
+
+// ReplayMismatchError reports nondeterminism: the same spec produced
+// a different outcome when re-executed.
+type ReplayMismatchError struct{ Detail string }
+
+func (e *ReplayMismatchError) Error() string {
+	return "replay mismatch (nondeterministic run): " + e.Detail
+}
+
+// Failure is one failed run, classified for the summary.
+type Failure struct {
+	Index int // run index within the sweep
+	Spec  RunSpec
+	Err   error
+	Kind  string // protocol | deadlock | cycle-limit | coherence | replay-mismatch | setup
+}
+
+// Classify names the failure mode of a run error.
+func Classify(err error) string {
+	var pe *coherence.ProtocolError
+	var de *sim.DeadlockError
+	var ce *sim.CycleLimitError
+	var ve *sim.CoherenceViolationError
+	var re *ReplayMismatchError
+	switch {
+	case errors.As(err, &re):
+		return "replay-mismatch"
+	case errors.As(err, &pe):
+		return "protocol"
+	case errors.As(err, &de):
+		return "deadlock"
+	case errors.As(err, &ce):
+		return "cycle-limit"
+	case errors.As(err, &ve):
+		return "coherence"
+	default:
+		return "setup"
+	}
+}
+
+// Summary aggregates a sweep.
+type Summary struct {
+	Runs     int
+	Replayed int
+	Failures []Failure
+	ByKind   map[string]int
+}
+
+// OK reports a clean sweep.
+func (s Summary) OK() bool { return len(s.Failures) == 0 }
+
+// String renders the human summary, failures first.
+func (s Summary) String() string {
+	out := ""
+	for _, f := range s.Failures {
+		out += fmt.Sprintf("FAIL [%s] %s\n  %v\n", f.Kind, f.Spec.ReproLine(), f.Err)
+	}
+	out += fmt.Sprintf("torture: %d runs, %d replayed, %d failures", s.Runs, s.Replayed, len(s.Failures))
+	if len(s.ByKind) > 0 {
+		kinds := make([]string, 0, len(s.ByKind))
+		for k := range s.ByKind {
+			kinds = append(kinds, k)
+		}
+		sort.Strings(kinds)
+		for _, k := range kinds {
+			out += fmt.Sprintf(" %s=%d", k, s.ByKind[k])
+		}
+	}
+	return out
+}
+
+// specs derives the sweep's run specs from the master seed. Purely
+// sequential and deterministic: the same (seed, options) always
+// produce the same sweep.
+func specs(opt Options) []RunSpec {
+	rng := xrand.New(opt.Seed)
+	out := make([]RunSpec, opt.Runs)
+	for i := range out {
+		fl := faultLevels[rng.Intn(len(faultLevels))]
+		fl.Seed = rng.Uint64()
+		out[i] = RunSpec{
+			Seed:       rng.Uint64() | 1, // workload.Generate treats seed 0 as unset in places
+			Workload:   opt.Workloads[rng.Intn(len(opt.Workloads))],
+			Variant:    variants[rng.Intn(len(variants))].Name,
+			Cores:      opt.Cores[rng.Intn(len(opt.Cores))],
+			Instrs:     opt.Instrs[rng.Intn(len(opt.Instrs))],
+			Faults:     fl,
+			CheckEvery: opt.CheckEvery,
+			MaxCycles:  opt.MaxCycles,
+		}
+	}
+	return out
+}
+
+// Torture runs the sweep and returns the summary.
+func Torture(opt Options) Summary {
+	opt = opt.withDefaults()
+	all := specs(opt)
+
+	type outcome struct {
+		err      error
+		replayed bool
+	}
+	outcomes := make([]outcome, len(all))
+
+	var wg sync.WaitGroup
+	work := make(chan int)
+	for w := 0; w < opt.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range work {
+				spec := all[i]
+				res, err := Execute(spec)
+				replayed := false
+				if err == nil && opt.ReplayEvery > 0 && i%opt.ReplayEvery == 0 {
+					replayed = true
+					res2, err2 := Execute(spec)
+					switch {
+					case err2 != nil:
+						err = &ReplayMismatchError{Detail: fmt.Sprintf("replay failed where the first run passed: %v", err2)}
+					case res2 != res:
+						err = &ReplayMismatchError{Detail: fmt.Sprintf("first run %d cycles / %d messages, replay %d cycles / %d messages",
+							res.Cycles, res.NetworkMessages, res2.Cycles, res2.NetworkMessages)}
+					}
+				}
+				outcomes[i] = outcome{err: err, replayed: replayed}
+				if opt.Progress != nil {
+					status := "ok"
+					if err != nil {
+						status = "FAIL"
+					}
+					opt.Progress(fmt.Sprintf("run %4d %-4s %-13s %-14s cores=%d faults=%s",
+						i, status, spec.Workload, spec.Variant, spec.Cores, spec.Faults.Spec()))
+				}
+			}
+		}()
+	}
+	for i := range all {
+		work <- i
+	}
+	close(work)
+	wg.Wait()
+
+	sum := Summary{Runs: len(all), ByKind: make(map[string]int)}
+	for i, o := range outcomes {
+		if o.replayed {
+			sum.Replayed++
+		}
+		if o.err == nil {
+			continue
+		}
+		kind := Classify(o.err)
+		sum.ByKind[kind]++
+		sum.Failures = append(sum.Failures, Failure{Index: i, Spec: all[i], Err: o.err, Kind: kind})
+	}
+	sort.Slice(sum.Failures, func(a, b int) bool { return sum.Failures[a].Index < sum.Failures[b].Index })
+	return sum
+}
