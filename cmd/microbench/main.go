@@ -8,25 +8,58 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 
 	"rowsim/internal/experiments"
+	"rowsim/internal/lifecycle"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the microbenchmark under the lifecycle supervisor, so
+// SIGINT stops the in-flight simulation cleanly and a contained panic
+// or timeout surfaces as a structured error (see cmd/rowbench).
+func run() (code int) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		err, ok := p.(error)
+		if !ok {
+			panic(p)
+		}
+		fmt.Fprintln(os.Stderr, err)
+		if lifecycle.Classify(err) == lifecycle.ClassCanceled {
+			code = 130
+			return
+		}
+		code = 1
+	}()
 	var (
-		iters = flag.Int("iters", 8000, "iterations per variant")
-		seed  = flag.Uint64("seed", 1, "address-stream seed")
+		iters   = flag.Int("iters", 8000, "iterations per variant")
+		seed    = flag.Uint64("seed", 1, "address-stream seed (0 selects the documented default seed)")
+		timeout = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	r := experiments.NewRunner(experiments.Options{
 		Cores:  1,
 		Instrs: *iters * 4, // Fig2 derives its iteration count from this
 		Seed:   *seed,
 	})
+	r.SetContext(ctx)
+	r.Supervise(lifecycle.New(lifecycle.Config{RunTimeout: *timeout, JitterSeed: r.Options().Seed}))
 	r.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	fmt.Println(experiments.Fig2(r))
+	return 0
 }

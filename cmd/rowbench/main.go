@@ -12,19 +12,48 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 	"time"
 
 	"rowsim/internal/experiments"
+	"rowsim/internal/lifecycle"
 	"rowsim/internal/stats"
 	"rowsim/internal/viz"
 	"rowsim/internal/workload"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// run executes the figure harness under the lifecycle supervisor:
+// SIGINT cancels the in-flight simulation at its next poll, panics
+// are contained per run and retried, and a failed or interrupted
+// figure exits with a structured report instead of a raw panic (the
+// figure code itself still uses the MustRun convention, so the typed
+// error arrives here as a panic payload).
+func run() (code int) {
+	defer func() {
+		p := recover()
+		if p == nil {
+			return
+		}
+		err, ok := p.(error)
+		if !ok {
+			panic(p) // a real bug, not a run failure: keep the crash
+		}
+		fmt.Fprintln(os.Stderr, err)
+		if lifecycle.Classify(err) == lifecycle.ClassCanceled {
+			code = 130
+			return
+		}
+		code = 1
+	}()
 	var (
 		fig       = flag.Int("fig", 0, "figure number to regenerate (1,2,4,5,6,8,9,10,11,12,13)")
 		table     = flag.Int("table", 0, "table to regenerate (1 = system params, 2 = RoW hardware cost)")
@@ -38,11 +67,15 @@ func main() {
 		all       = flag.Bool("all", false, "regenerate everything")
 		cores     = flag.Int("cores", 32, "number of cores")
 		instrs    = flag.Int("instrs", 0, "instructions per core (0 = experiment default)")
-		seed      = flag.Uint64("seed", 1, "trace seed")
+		seed      = flag.Uint64("seed", 1, "trace seed (0 selects the documented default seed)")
 		wls       = flag.String("workloads", "", "comma-separated workload subset (default: the 13 atomic-intensive)")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	opt := experiments.Options{Cores: *cores, Instrs: *instrs, Seed: *seed}
 	if *wls != "" {
@@ -55,6 +88,8 @@ func main() {
 		}
 	}
 	r := experiments.NewRunner(opt)
+	r.SetContext(ctx)
+	r.Supervise(lifecycle.New(lifecycle.Config{RunTimeout: *timeout, JitterSeed: r.Options().Seed}))
 	if !*quiet {
 		r.Progress = func(msg string) { fmt.Fprintln(os.Stderr, msg) }
 	}
@@ -174,4 +209,5 @@ func main() {
 	if !*quiet {
 		fmt.Fprintf(os.Stderr, "total wall time: %s\n", time.Since(start).Round(time.Millisecond))
 	}
+	return 0
 }

@@ -6,16 +6,33 @@
 //	rowsweep -workload sps -param sharedfrac -values 0.1,0.3,0.5,0.7,0.9
 //	rowsweep -workload pc -param hotlines -values 1,2,4,8,16 -format csv
 //	rowsweep -workload cq -param atomics10k -values 10,25,50,100
+//
+// Every run executes under the lifecycle supervisor: -timeout bounds
+// one run's wall-clock time, -deadline the whole sweep's, transient
+// failures retry with backoff, and -journal streams each outcome to a
+// crash-safe JSONL log. A sweep killed mid-way (SIGINT or SIGKILL)
+// resumes from its journal:
+//
+//	rowsweep ... -journal sweep.jsonl        # interrupted at cell 7/15
+//	rowsweep -resume sweep.jsonl             # re-runs only the missing cells
+//
+// Resume re-reads the sweep definition from the journal's meta record,
+// so no other flags are needed; completed runs are served from the
+// journal and the final table is identical to an uninterrupted sweep.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"rowsim/internal/config"
+	"rowsim/internal/experiments"
+	"rowsim/internal/lifecycle"
 	"rowsim/internal/sim"
 	"rowsim/internal/stats"
 	"rowsim/internal/workload"
@@ -32,75 +49,229 @@ var parameters = map[string]func(*workload.Params, float64){
 	"addrindep":   func(p *workload.Params, v float64) { p.AddrIndep = v },
 }
 
+// policies are the three configurations each sweep cell compares.
+var policies = []struct {
+	name string
+	p    config.AtomicPolicy
+}{
+	{"eager", config.PolicyEager},
+	{"lazy", config.PolicyLazy},
+	{"row", config.PolicyRoW},
+}
+
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
-		name   = flag.String("workload", "sps", "base workload")
-		param  = flag.String("param", "sharedfrac", "parameter to sweep: atomics10k, sharedfrac, hotlines, storebefore, workingset, depmean, addrindep")
-		values = flag.String("values", "0.1,0.5,0.9", "comma-separated sweep values")
-		cores  = flag.Int("cores", 32, "number of cores")
-		instrs = flag.Int("instrs", 8000, "instructions per core")
-		seed   = flag.Uint64("seed", 1, "trace seed")
-		format = flag.String("format", "text", "output format: text, csv")
+		name    = flag.String("workload", "sps", "base workload")
+		param   = flag.String("param", "sharedfrac", "parameter to sweep: atomics10k, sharedfrac, hotlines, storebefore, workingset, depmean, addrindep")
+		values  = flag.String("values", "0.1,0.5,0.9", "comma-separated sweep values")
+		cores   = flag.Int("cores", 32, "number of cores")
+		instrs  = flag.Int("instrs", 8000, "instructions per core")
+		seed    = flag.Uint64("seed", 1, "trace seed (0 selects the documented default seed)")
+		format  = flag.String("format", "text", "output format: text, csv")
+		journal = flag.String("journal", "", "write a crash-safe JSONL run journal to this path")
+		resume  = flag.String("resume", "", "resume an interrupted sweep from its journal (re-runs only missing cells)")
+		timeout = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
+		deadlin = flag.Duration("deadline", 0, "whole-sweep wall-clock deadline (0 = off)")
+		retries = flag.Int("retries", 3, "attempt budget per run for transient failures (timeout, panic)")
 	)
 	flag.Parse()
+
+	// Seed 0 means "the default": resolve it here so the journal and
+	// every repro record carry the real seed, never the ambiguous 0.
+	if *seed == 0 {
+		*seed = experiments.DefaultSeed
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadlin > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadlin)
+		defer cancel()
+	}
+
+	var (
+		jnl  *lifecycle.Journal
+		snap *lifecycle.Snapshot
+		err  error
+	)
+	switch {
+	case *resume != "":
+		jnl, snap, err = lifecycle.Resume(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// The journal's meta record is the sweep definition; flags
+		// like -timeout/-deadline/-retries still come from the line.
+		a := snap.Meta.Args
+		*name, *param, *values = a["workload"], a["param"], a["values"]
+		*cores = atoi(a["cores"])
+		*instrs = atoi(a["instrs"])
+		s, perr := strconv.ParseUint(a["seed"], 10, 64)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "corrupt journal meta: bad seed %q\n", a["seed"])
+			return 2
+		}
+		*seed = s
+	case *journal != "":
+		jnl, err = lifecycle.Create(*journal, lifecycle.Record{
+			Tool: "rowsweep",
+			Args: map[string]string{
+				"workload": *name,
+				"param":    *param,
+				"values":   *values,
+				"cores":    strconv.Itoa(*cores),
+				"instrs":   strconv.Itoa(*instrs),
+				"seed":     strconv.FormatUint(*seed, 10),
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
 
 	apply, ok := parameters[*param]
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
-		os.Exit(2)
+		return 2
 	}
 	base, err := workload.Get(*name)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(2)
+		return 2
+	}
+
+	sup := lifecycle.New(lifecycle.Config{
+		MaxAttempts: *retries,
+		RunTimeout:  *timeout,
+		JitterSeed:  *seed,
+		Journal:     jnl,
+	})
+
+	// outcomes collects one supervised outcome per (value, policy) cell.
+	outcomes := make(map[string]lifecycle.Outcome)
+	canceled := false
+	rawValues := strings.Split(*values, ",")
+sweep:
+	for _, raw := range rawValues {
+		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", raw, err)
+			return 2
+		}
+		p := base
+		apply(&p, v)
+		for _, pol := range policies {
+			key := fmt.Sprintf("%s=%s/%s", *param, strings.TrimSpace(raw), pol.name)
+			if rec, ok := snap.Completed(key); ok {
+				outcomes[key] = rec.Outcome()
+				fmt.Fprintf(os.Stderr, "%-30s resumed from journal\n", key)
+				continue
+			}
+			if ctx.Err() != nil {
+				canceled = true
+				break sweep
+			}
+			pcfg := pol.p
+			wp := p
+			out := sup.Do(ctx, lifecycle.Job{Key: key, Seed: *seed}, func(c context.Context) (sim.Result, error) {
+				progs := workload.Generate(wp, *cores, *instrs, *seed)
+				cfg := config.Default()
+				cfg.NumCores = *cores
+				cfg.Policy = pcfg
+				cfg.RoW.Predictor = config.PredSaturate
+				cfg.EarlyAddrCalc = pcfg == config.PolicyRoW
+				cfg.MaxCycles = 500_000_000
+				s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(wp)))
+				if err != nil {
+					return sim.Result{}, err
+				}
+				return s.RunCtx(c)
+			})
+			outcomes[key] = out
+			switch out.Status {
+			case lifecycle.StatusCanceled:
+				canceled = true
+				break sweep
+			case lifecycle.StatusOK:
+				fmt.Fprintf(os.Stderr, "%-30s ok (%d attempt(s))\n", key, out.Attempts)
+			default:
+				// Degrade gracefully: record and keep sweeping.
+				fmt.Fprintf(os.Stderr, "%-30s %s after %d attempt(s): %v\n", key, out.Status, out.Attempts, out.Err)
+			}
+		}
+	}
+
+	if canceled {
+		hint := ""
+		if jnl != nil {
+			hint = fmt.Sprintf(" — resume with: rowsweep -resume %s", jnl.Path())
+		}
+		fmt.Fprintf(os.Stderr, "sweep interrupted%s\n", hint)
+		closeJournal(jnl)
+		return 130
 	}
 
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Sweep of %s over %s", *param, base.Name),
 		Headers: []string{*param, "eager-cycles", "lazy/eager", "row(Sat)/eager", "%contended"},
 	}
-	for _, raw := range strings.Split(*values, ",") {
-		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "bad value %q: %v\n", raw, err)
-			os.Exit(2)
+	for _, raw := range rawValues {
+		raw = strings.TrimSpace(raw)
+		cell := func(pol string) lifecycle.Outcome {
+			return outcomes[fmt.Sprintf("%s=%s/%s", *param, raw, pol)]
 		}
-		p := base
-		apply(&p, v)
-		progs := workload.Generate(p, *cores, *instrs, *seed)
-
-		run := func(policy config.AtomicPolicy) sim.Result {
-			cfg := config.Default()
-			cfg.NumCores = *cores
-			cfg.Policy = policy
-			cfg.RoW.Predictor = config.PredSaturate
-			cfg.EarlyAddrCalc = policy == config.PolicyRoW
-			cfg.MaxCycles = 500_000_000
-			s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			r, err := s.Run()
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			return r
+		eager, lazy, row := cell("eager"), cell("lazy"), cell("row")
+		if eager.Status == lifecycle.StatusOK && lazy.Status == lifecycle.StatusOK && row.Status == lifecycle.StatusOK {
+			t.AddRow(raw,
+				fmt.Sprint(eager.Result.Cycles),
+				stats.F(float64(lazy.Result.Cycles)/float64(eager.Result.Cycles)),
+				stats.F(float64(row.Result.Cycles)/float64(eager.Result.Cycles)),
+				stats.Pct(eager.Result.ContendedFrac))
+			continue
 		}
-		eager := run(config.PolicyEager)
-		lazy := run(config.PolicyLazy)
-		row := run(config.PolicyRoW)
-		t.AddRow(raw,
-			fmt.Sprint(eager.Cycles),
-			stats.F(float64(lazy.Cycles)/float64(eager.Cycles)),
-			stats.F(float64(row.Cycles)/float64(eager.Cycles)),
-			stats.Pct(eager.ContendedFrac))
-		fmt.Fprintf(os.Stderr, "%s=%s done\n", *param, raw)
+		// A degraded cell keeps its row (with the failure mode) instead
+		// of aborting the sweep.
+		status := func(o lifecycle.Outcome) string {
+			if o.Status == lifecycle.StatusOK {
+				return "ok"
+			}
+			return string(o.Status)
+		}
+		t.AddRow(raw, status(eager), status(lazy), status(row), "—")
 	}
 	if *format == "csv" {
 		fmt.Print(t.CSV())
 	} else {
 		fmt.Println(t)
 	}
+	return closeJournal(jnl)
+}
+
+// closeJournal closes the journal and reports any write failure (a
+// journal problem must be loud: a silent one makes resume lie).
+func closeJournal(j *lifecycle.Journal) int {
+	if j == nil {
+		return 0
+	}
+	if err := j.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "journal error: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corrupt journal meta: bad integer %q\n", s)
+		os.Exit(2)
+	}
+	return v
 }

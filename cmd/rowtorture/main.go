@@ -10,6 +10,16 @@
 // replaying a sample for byte-identical determinism. Every failure is
 // printed as a one-line re-runnable reproduction.
 //
+// The sweep runs supervised: -timeout bounds one run's wall-clock
+// time, -deadline the whole sweep's, and -journal streams outcomes to
+// a crash-safe JSONL log. SIGINT drains in-flight runs into the
+// journal; an interrupted (or SIGKILLed) sweep continues with
+//
+//	rowtorture -resume torture.jsonl
+//
+// which re-reads the sweep definition from the journal's meta record
+// and re-runs only the specs that did not complete successfully.
+//
 // Reproduction mode (triggered by -wl):
 //
 //	rowtorture -seed 0x3a41 -wl cq -variant "RW+Dir_Sat" -cores 8 -instrs 2500 -faults "jitter=0.5:16"
@@ -18,17 +28,24 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
 
 	"rowsim/internal/faults"
+	"rowsim/internal/lifecycle"
 	"rowsim/internal/torture"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		n       = flag.Int("n", 100, "sweep: number of randomized configs")
 		workers = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
@@ -40,13 +57,69 @@ func main() {
 		spec    = flag.String("faults", "none", "repro mode: fault spec, e.g. jitter=0.5:16,reorder=0.05:64")
 		replay  = flag.Int("replay-every", 5, "replay every Nth run for determinism (0 = off)")
 		check   = flag.Uint64("check-every", 4096, "coherence-invariant check interval in cycles (0 = off)")
-		budget  = flag.Uint64("max-cycles", 20_000_000, "per-run cycle budget")
+		budget  = flag.Uint64("max-cycles", 20_000_000, "per-run cycle budget (simulated cycles)")
+		journal = flag.String("journal", "", "write a crash-safe JSONL run journal to this path")
+		resume  = flag.String("resume", "", "resume an interrupted sweep from its journal")
+		timeout = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
+		deadlin = flag.Duration("deadline", 0, "whole-sweep wall-clock deadline (0 = off)")
+		retries = flag.Int("retries", 1, "attempt budget per run for transient failures (timeout, panic)")
 		verbose = flag.Bool("v", false, "print a line per run")
 	)
 	flag.Parse()
 
 	if *wl != "" {
-		os.Exit(repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget))
+		return repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *deadlin > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadlin)
+		defer cancel()
+	}
+
+	var (
+		jnl  *lifecycle.Journal
+		snap *lifecycle.Snapshot
+		err  error
+	)
+	switch {
+	case *resume != "":
+		jnl, snap, err = lifecycle.Resume(*resume)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		a := snap.Meta.Args
+		*n = atoi(a["n"])
+		s, perr := strconv.ParseUint(a["seed"], 10, 64)
+		if perr != nil {
+			fmt.Fprintf(os.Stderr, "corrupt journal meta: bad seed %q\n", a["seed"])
+			return 2
+		}
+		*seed = s
+		*cores, *instrs = a["cores"], a["instrs"]
+		*replay = atoi(a["replay-every"])
+		*check = uint64(atoi(a["check-every"]))
+		*budget = uint64(atoi(a["max-cycles"]))
+	case *journal != "":
+		jnl, err = lifecycle.Create(*journal, lifecycle.Record{
+			Tool: "rowtorture",
+			Args: map[string]string{
+				"n":            strconv.Itoa(*n),
+				"seed":         strconv.FormatUint(*seed, 10),
+				"cores":        *cores,
+				"instrs":       *instrs,
+				"replay-every": strconv.Itoa(*replay),
+				"check-every":  strconv.FormatUint(*check, 10),
+				"max-cycles":   strconv.FormatUint(*budget, 10),
+			},
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
 	}
 
 	opt := torture.Options{
@@ -58,15 +131,32 @@ func main() {
 		ReplayEvery: *replay,
 		CheckEvery:  *check,
 		MaxCycles:   *budget,
+		Ctx:         ctx,
+		RunTimeout:  *timeout,
+		MaxAttempts: *retries,
+		Journal:     jnl,
+		Resume:      snap,
 	}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Println(msg) }
 	}
 	sum := torture.Torture(opt)
 	fmt.Println(sum)
-	if !sum.OK() {
-		os.Exit(1)
+	if jerr := closeJournal(jnl); jerr != 0 {
+		return jerr
 	}
+	if !sum.OK() {
+		return 1
+	}
+	if sum.Canceled > 0 {
+		hint := ""
+		if jnl != nil {
+			hint = fmt.Sprintf(" — resume with: rowtorture -resume %s", jnl.Path())
+		}
+		fmt.Fprintf(os.Stderr, "sweep interrupted%s\n", hint)
+		return 130
+	}
+	return 0
 }
 
 // repro re-executes one run and reports its outcome; the exit code is
@@ -98,6 +188,17 @@ func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, bu
 	return 0
 }
 
+func closeJournal(j *lifecycle.Journal) int {
+	if j == nil {
+		return 0
+	}
+	if err := j.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "journal error: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
 func parseInts(s string) []int {
 	var out []int
 	for _, part := range strings.Split(s, ",") {
@@ -113,6 +214,15 @@ func parseInts(s string) []int {
 		out = append(out, v)
 	}
 	return out
+}
+
+func atoi(s string) int {
+	v, err := strconv.Atoi(s)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "corrupt journal meta: bad integer %q\n", s)
+		os.Exit(2)
+	}
+	return v
 }
 
 // one parses a single integer flag that shares syntax with a list.

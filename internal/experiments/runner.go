@@ -8,21 +8,33 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
 	"rowsim/internal/config"
+	"rowsim/internal/lifecycle"
 	"rowsim/internal/sim"
 	"rowsim/internal/trace"
 	"rowsim/internal/workload"
 )
 
+// DefaultSeed is the trace seed selected when Options.Seed is zero.
+// Seed 0 is reserved as "use the default" — workload generation mixes
+// seeds in ways that treat 0 as unset, so it is not a valid distinct
+// seed of its own. Every run record journals the resolved seed, never
+// the ambiguous 0, so a journaled spec is always re-runnable verbatim.
+const DefaultSeed uint64 = 1
+
 // Options scales the experiments. The zero value picks the paper's
 // 32-core system at a trace length that keeps a full figure run in
 // minutes.
 type Options struct {
-	Cores     int
-	Instrs    int // per-core instructions; 0 = 12000
+	Cores  int
+	Instrs int // per-core instructions; 0 = 12000
+	// Seed is the trace seed; 0 explicitly selects DefaultSeed (it is
+	// NOT a distinct seed — passing 0 and 1 runs identical sweeps by
+	// design, and the resolved value is what gets journaled).
 	Seed      uint64
 	Workloads []string // default: the 13 atomic-intensive workloads
 }
@@ -35,7 +47,7 @@ func (o Options) withDefaults() Options {
 		o.Instrs = 12000
 	}
 	if o.Seed == 0 {
-		o.Seed = 1
+		o.Seed = DefaultSeed
 	}
 	if o.Workloads == nil {
 		o.Workloads = workload.AtomicIntensive
@@ -123,6 +135,8 @@ func (v Variant) key() string {
 // memo is purely a performance optimization).
 type Runner struct {
 	opt   Options
+	ctx   context.Context       // base context for Run/MustRun (nil = Background)
+	super *lifecycle.Supervisor // optional supervision of every run
 	mu    sync.Mutex
 	cache map[string]sim.Result
 	// Progress, when set, receives a line per completed run. It must
@@ -138,10 +152,32 @@ func NewRunner(opt Options) *Runner {
 // Options returns the effective (defaulted) options.
 func (r *Runner) Options() Options { return r.opt }
 
+// SetContext installs the base context every context-less Run call
+// (and therefore every figure's MustRun) executes under, making whole
+// figure harnesses cancellable by SIGINT or a sweep deadline.
+func (r *Runner) SetContext(ctx context.Context) { r.ctx = ctx }
+
+// Supervise routes every run through the supervisor: panic
+// containment, per-run wall-clock deadline, classified retry, and
+// journaling of each outcome with the resolved seed.
+func (r *Runner) Supervise(s *lifecycle.Supervisor) { r.super = s }
+
+func (r *Runner) baseCtx() context.Context {
+	if r.ctx != nil {
+		return r.ctx
+	}
+	return context.Background()
+}
+
 // Run simulates one workload under one variant, memoized. It returns
 // an error when the configuration is invalid or the run aborts (cycle
-// budget, deadlock, protocol violation).
+// budget, deadlock, protocol violation, cancellation).
 func (r *Runner) Run(wl string, v Variant) (sim.Result, error) {
+	return r.RunCtx(r.baseCtx(), wl, v)
+}
+
+// RunCtx is Run under explicit cancellation.
+func (r *Runner) RunCtx(ctx context.Context, wl string, v Variant) (sim.Result, error) {
 	key := wl + "#" + v.key()
 	r.mu.Lock()
 	res, ok := r.cache[key]
@@ -149,19 +185,33 @@ func (r *Runner) Run(wl string, v Variant) (sim.Result, error) {
 	if ok {
 		return res, nil
 	}
-	p, err := workload.Get(wl)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	exec := func(ctx context.Context) (sim.Result, error) {
+		p, err := workload.Get(wl)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %w", err)
+		}
+		progs := workload.Generate(p, r.opt.Cores, r.opt.Instrs, r.opt.Seed)
+		cfg := v.Config(r.opt.Cores)
+		s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %w", err)
+		}
+		return s.RunCtx(ctx)
 	}
-	progs := workload.Generate(p, r.opt.Cores, r.opt.Instrs, r.opt.Seed)
-	cfg := v.Config(r.opt.Cores)
-	s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %w", err)
-	}
-	res, err = s.Run()
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", wl, v.Name, err)
+	var err error
+	if r.super != nil {
+		job := lifecycle.Job{Key: fmt.Sprintf("%s under %s seed=%d", wl, v.Name, r.opt.Seed), Seed: r.opt.Seed}
+		out := r.super.Do(ctx, job, exec)
+		if out.Status != lifecycle.StatusOK {
+			return sim.Result{}, fmt.Errorf("experiments: %s under %s [%s after %d attempt(s)]: %w",
+				wl, v.Name, out.Status, out.Attempts, out.Err)
+		}
+		res = out.Result
+	} else {
+		res, err = exec(ctx)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", wl, v.Name, err)
+		}
 	}
 	r.mu.Lock()
 	r.cache[key] = res
@@ -182,13 +232,26 @@ func (r *Runner) MustRun(wl string, v Variant) sim.Result {
 	return res
 }
 
-// RunPrograms simulates explicit programs (the microbenchmark path).
+// RunPrograms simulates explicit programs (the microbenchmark path)
+// under the runner's base context and supervisor, when set.
 func (r *Runner) RunPrograms(cfg *config.Config, progs []trace.Program) (sim.Result, error) {
-	s, err := sim.New(cfg, progs)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %w", err)
+	exec := func(ctx context.Context) (sim.Result, error) {
+		s, err := sim.New(cfg, progs)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %w", err)
+		}
+		return s.RunCtx(ctx)
 	}
-	res, err := s.Run()
+	if r.super != nil {
+		job := lifecycle.Job{Key: fmt.Sprintf("programs(%d) seed=%d", len(progs), r.opt.Seed), Seed: r.opt.Seed}
+		out := r.super.Do(r.baseCtx(), job, exec)
+		if out.Status != lifecycle.StatusOK {
+			return sim.Result{}, fmt.Errorf("experiments: programs [%s after %d attempt(s)]: %w",
+				out.Status, out.Attempts, out.Err)
+		}
+		return out.Result, nil
+	}
+	res, err := exec(r.baseCtx())
 	if err != nil {
 		return sim.Result{}, fmt.Errorf("experiments: %w", err)
 	}

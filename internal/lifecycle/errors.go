@@ -1,0 +1,72 @@
+package lifecycle
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// RunPanicError is a panic that escaped a simulation attempt, caught
+// by the supervisor's containment and converted into a value: the run
+// spec that panicked, the panic payload and the goroutine stack. A
+// panic is classified transient — it may be a host-level glitch — but
+// a deterministic simulator panic simply exhausts its retries and the
+// job degrades instead of killing the whole sweep.
+type RunPanicError struct {
+	Spec  string // the job key (repro line) of the panicking run
+	Value any    // the recovered panic payload
+	Stack string // debug.Stack() at the recovery point
+}
+
+func (e *RunPanicError) Error() string {
+	return fmt.Sprintf("lifecycle: run %q panicked: %v\n%s", e.Spec, e.Value, e.Stack)
+}
+
+// Class is the retry classification of a failed attempt.
+type Class int
+
+const (
+	// ClassPermanent marks deterministic failures — protocol errors,
+	// deadlocks, coherence violations, exhausted cycle budgets, setup
+	// errors. A deterministic simulation replays identically, so
+	// retrying is pure waste: the job fails after exactly one attempt.
+	ClassPermanent Class = iota
+	// ClassTransient marks host-level failures — an escaped panic or
+	// an expired per-attempt wall-clock deadline — that a retry on a
+	// healthier host moment can genuinely fix.
+	ClassTransient
+	// ClassCanceled marks supervisor shutdown (context canceled): the
+	// job is neither failed nor degraded, just unfinished — a resume
+	// re-runs it.
+	ClassCanceled
+)
+
+func (c Class) String() string {
+	switch c {
+	case ClassPermanent:
+		return "permanent"
+	case ClassTransient:
+		return "transient"
+	case ClassCanceled:
+		return "canceled"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Classify maps an attempt error to its retry class. Cancellation is
+// recognized via errors.Is(err, context.Canceled) (sim wraps it in
+// *sim.RunCanceledError), deadlines via context.DeadlineExceeded,
+// panics via *RunPanicError; everything else — including every typed
+// simulator failure — replays identically and is permanent.
+func Classify(err error) Class {
+	var pe *RunPanicError
+	switch {
+	case errors.Is(err, context.Canceled):
+		return ClassCanceled
+	case errors.As(err, &pe), errors.Is(err, context.DeadlineExceeded):
+		return ClassTransient
+	default:
+		return ClassPermanent
+	}
+}

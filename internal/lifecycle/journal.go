@@ -1,0 +1,253 @@
+package lifecycle
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+
+	"rowsim/internal/sim"
+)
+
+// Record is one JSONL journal line. A journal starts with exactly one
+// "meta" record describing the sweep (tool name plus the flag values
+// needed to reconstruct it), followed by one "run" record per
+// completed job. Seeds are journaled resolved — a record never carries
+// the ambiguous seed 0 a caller may have passed to mean "default".
+type Record struct {
+	Kind string `json:"kind"` // "meta" | "run"
+
+	// Meta fields.
+	Tool string            `json:"tool,omitempty"`
+	Args map[string]string `json:"args,omitempty"`
+
+	// Run fields.
+	Key      string      `json:"key,omitempty"` // stable job identity (repro line)
+	Seed     uint64      `json:"seed,omitempty"`
+	Status   Status      `json:"status,omitempty"`
+	Attempts int         `json:"attempts,omitempty"`
+	Class    string      `json:"class,omitempty"` // retry class of the final error
+	Error    string      `json:"error,omitempty"`
+	Result   *sim.Result `json:"result,omitempty"` // set when Status == ok
+}
+
+// Outcome converts a journaled run record back into the outcome the
+// supervisor produced, so resumed sweeps aggregate journaled results
+// exactly as live ones.
+func (r Record) Outcome() Outcome {
+	out := Outcome{Status: r.Status, Attempts: r.Attempts}
+	if r.Result != nil {
+		out.Result = *r.Result
+	}
+	if r.Error != "" {
+		out.Err = fmt.Errorf("%s (journaled, class %s)", r.Error, r.Class)
+	}
+	return out
+}
+
+// syncEvery batches fsync: every record is flushed to the OS when
+// appended (a SIGKILL of the process loses nothing already appended),
+// but the more expensive disk barrier runs once per this many records
+// (power-loss can cost at most one batch; the torn tail is dropped on
+// resume).
+const syncEvery = 16
+
+// Journal is a crash-safe append-only JSONL run log. Creation is
+// atomic (the header is written to a temp file, fsynced and renamed,
+// so the journal either exists with a valid meta record or not at
+// all); appends are line-buffered with batched fsync; Resume tolerates
+// a torn final line by truncating to the last valid record.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	path    string
+	pending int   // appends since the last fsync
+	err     error // first append failure, sticky
+}
+
+// Create initializes a new journal at path with the given meta record
+// via write-temp-then-rename, then opens it for appending. An existing
+// file at path is an error: journals are never silently overwritten.
+func Create(path string, meta Record) (*Journal, error) {
+	if _, err := os.Stat(path); err == nil {
+		return nil, fmt.Errorf("lifecycle: journal %s already exists (use resume, or remove it)", path)
+	}
+	meta.Kind = "meta"
+	line, err := json.Marshal(meta)
+	if err != nil {
+		return nil, fmt.Errorf("lifecycle: encode meta: %w", err)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := f.Write(append(line, '\n')); err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("lifecycle: write journal header: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, err
+	}
+	return openAppend(path)
+}
+
+func openAppend(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &Journal{f: f, w: bufio.NewWriter(f), path: path}, nil
+}
+
+// Path returns the journal's file path (for resume hints).
+func (j *Journal) Path() string { return j.path }
+
+// Append writes one record as a JSONL line and flushes it to the OS;
+// fsync runs every syncEvery records. Append never fails the caller's
+// run: the first I/O error is recorded and returned by Err.
+func (j *Journal) Append(rec Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.err = fmt.Errorf("lifecycle: encode record: %w", err)
+		return
+	}
+	if _, err := j.w.Write(append(line, '\n')); err != nil {
+		j.err = err
+		return
+	}
+	if err := j.w.Flush(); err != nil {
+		j.err = err
+		return
+	}
+	j.pending++
+	if j.pending >= syncEvery {
+		j.err = j.f.Sync()
+		j.pending = 0
+	}
+}
+
+// Err returns the first append failure, or nil.
+func (j *Journal) Err() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Close flushes, fsyncs and closes the journal.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return j.err
+	}
+	ferr := j.w.Flush()
+	serr := j.f.Sync()
+	cerr := j.f.Close()
+	j.f = nil
+	for _, e := range []error{j.err, ferr, serr, cerr} {
+		if e != nil {
+			return e
+		}
+	}
+	return nil
+}
+
+// Snapshot is a loaded journal: the meta record plus the latest run
+// record per job key.
+type Snapshot struct {
+	Meta Record
+	Runs map[string]Record
+}
+
+// Completed reports whether key finished successfully in the journaled
+// sweep and returns its record. Failed, degraded and canceled jobs do
+// not count: a resumed sweep re-runs them (that is the "re-run only
+// failures" half of resume — successes are served from the journal).
+func (s *Snapshot) Completed(key string) (Record, bool) {
+	if s == nil {
+		return Record{}, false
+	}
+	rec, ok := s.Runs[key]
+	if !ok || rec.Status != StatusOK {
+		return Record{}, false
+	}
+	return rec, true
+}
+
+// Load reads a journal, dropping a torn final line (a crash mid-append
+// leaves at most one), and returns the snapshot plus the byte length
+// of the valid prefix.
+func Load(path string) (*Snapshot, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	snap := &Snapshot{Runs: make(map[string]Record)}
+	r := bufio.NewReader(f)
+	var valid int64
+	first := true
+	for {
+		line, err := r.ReadBytes('\n')
+		if err == io.EOF {
+			// No trailing newline: the record was torn mid-write. Drop it.
+			break
+		}
+		if err != nil {
+			return nil, 0, err
+		}
+		var rec Record
+		if json.Unmarshal(line, &rec) != nil {
+			break // torn or corrupt tail: keep the valid prefix only
+		}
+		if first {
+			if rec.Kind != "meta" {
+				return nil, 0, fmt.Errorf("lifecycle: %s is not a journal (first record kind %q, want meta)", path, rec.Kind)
+			}
+			snap.Meta = rec
+			first = false
+		} else if rec.Kind == "run" && rec.Key != "" {
+			snap.Runs[rec.Key] = rec
+		}
+		valid += int64(len(line))
+	}
+	if first {
+		return nil, 0, fmt.Errorf("lifecycle: %s has no valid meta record", path)
+	}
+	return snap, valid, nil
+}
+
+// Resume loads the journal at path, truncates any torn tail, and
+// reopens it for appending, so a killed sweep continues in place: the
+// snapshot says which jobs are already done, new records append after
+// the valid prefix.
+func Resume(path string) (*Journal, *Snapshot, error) {
+	snap, valid, err := Load(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := os.Truncate(path, valid); err != nil {
+		return nil, nil, fmt.Errorf("lifecycle: drop torn journal tail: %w", err)
+	}
+	j, err := openAppend(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	return j, snap, nil
+}

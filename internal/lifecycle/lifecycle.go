@@ -1,0 +1,225 @@
+// Package lifecycle supervises simulation runs: every job executes
+// under cooperative cancellation, an optional per-attempt wall-clock
+// deadline (distinct from the simulated-cycle budget), panic
+// containment, and classified retry — transient host-level failures
+// (deadline, panic) back off exponentially with seeded jitter and try
+// again, deterministic simulator failures (protocol error, deadlock,
+// cycle limit) fail after exactly one attempt because they replay
+// identically. Outcomes stream to a crash-safe append-only JSONL
+// journal, so a sweep killed at run 480/500 resumes with the 480
+// finished runs served from disk and only the tail re-executed;
+// repeatedly failing jobs degrade (recorded with their error) instead
+// of aborting the sweep.
+//
+// The same supervisor shape — job spec, attempt, classify,
+// retry-or-degrade, journal — is what any long batch campaign needs;
+// see DESIGN.md "Run lifecycle & recovery" for the state machine and
+// journal format.
+package lifecycle
+
+import (
+	"context"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"rowsim/internal/sim"
+	"rowsim/internal/xrand"
+)
+
+// Status is the terminal state of a supervised job.
+type Status string
+
+const (
+	// StatusOK: an attempt completed cleanly.
+	StatusOK Status = "ok"
+	// StatusFailed: a permanent (deterministic) failure; one attempt.
+	StatusFailed Status = "failed"
+	// StatusDegraded: transient failures persisted through every
+	// retry; the sweep records the error and moves on.
+	StatusDegraded Status = "degraded"
+	// StatusCanceled: the supervisor shut down (SIGINT drain, sweep
+	// deadline) before the job finished; a resume re-runs it.
+	StatusCanceled Status = "canceled"
+)
+
+// Config tunes a Supervisor. The zero value retries transient
+// failures twice (three attempts), backing off from 100ms toward 5s,
+// with no per-attempt deadline and no journal.
+type Config struct {
+	// MaxAttempts is the total attempt budget per job, including the
+	// first (default 3). Only transient failures consume retries.
+	MaxAttempts int
+	// RunTimeout is the per-attempt wall-clock deadline (0 = none).
+	// It bounds host time; the simulated-cycle budget is Config
+	// .MaxCycles on the simulation side.
+	RunTimeout time.Duration
+	// BackoffBase is the delay before the first retry (default 100ms);
+	// each further retry doubles it, capped at BackoffMax (default 5s).
+	// The actual delay is jittered uniformly into [1/2, 1) of the
+	// nominal value from a seeded generator, so sweeps stay
+	// reproducible while concurrent retries decorrelate.
+	BackoffBase time.Duration
+	BackoffMax  time.Duration
+	// JitterSeed seeds the backoff jitter (default 1).
+	JitterSeed uint64
+	// Journal, when set, receives one run record per completed job.
+	Journal *Journal
+	// Sleep replaces the backoff sleep (tests). It must return a
+	// non-nil error when ctx is done before the delay elapses.
+	Sleep func(ctx context.Context, d time.Duration) error
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.BackoffBase <= 0 {
+		c.BackoffBase = 100 * time.Millisecond
+	}
+	if c.BackoffMax <= 0 {
+		c.BackoffMax = 5 * time.Second
+	}
+	if c.JitterSeed == 0 {
+		c.JitterSeed = 1
+	}
+	if c.Sleep == nil {
+		c.Sleep = sleep
+	}
+	return c
+}
+
+func sleep(ctx context.Context, d time.Duration) error {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// Job identifies one supervised run. Key is its stable identity across
+// processes (a repro line or spec string) — the journal and resume
+// match on it. Seed is the resolved trace seed, journaled so a record
+// is always re-runnable even when the caller used a defaulted seed.
+type Job struct {
+	Key  string
+	Seed uint64
+}
+
+// AttemptFunc executes one attempt of a job. The context carries the
+// supervisor's cancellation and, when configured, the per-attempt
+// deadline; implementations pass it to sim.System.RunCtx.
+type AttemptFunc func(ctx context.Context) (sim.Result, error)
+
+// Outcome is the terminal result of a supervised job.
+type Outcome struct {
+	Status   Status
+	Result   sim.Result // valid when Status == StatusOK
+	Attempts int        // attempts actually made
+	Err      error      // final error for failed/degraded/canceled
+}
+
+// Supervisor runs jobs under the policy in its Config. It is safe for
+// concurrent use by multiple workers.
+type Supervisor struct {
+	cfg Config
+	mu  sync.Mutex
+	rng *xrand.RNG
+}
+
+// New builds a supervisor.
+func New(cfg Config) *Supervisor {
+	cfg = cfg.withDefaults()
+	return &Supervisor{cfg: cfg, rng: xrand.New(cfg.JitterSeed)}
+}
+
+// Do runs one job to a terminal state and journals the outcome. The
+// journal write never alters the outcome; its first failure is
+// reported by Journal.Err.
+func (s *Supervisor) Do(ctx context.Context, job Job, fn AttemptFunc) Outcome {
+	out := s.run(ctx, job, fn)
+	if s.cfg.Journal != nil {
+		rec := Record{
+			Kind:     "run",
+			Key:      job.Key,
+			Seed:     job.Seed,
+			Status:   out.Status,
+			Attempts: out.Attempts,
+		}
+		if out.Err != nil {
+			rec.Error = out.Err.Error()
+			rec.Class = Classify(out.Err).String()
+		}
+		if out.Status == StatusOK {
+			res := out.Result
+			rec.Result = &res
+		}
+		s.cfg.Journal.Append(rec)
+	}
+	return out
+}
+
+func (s *Supervisor) run(ctx context.Context, job Job, fn AttemptFunc) Outcome {
+	for attempt := 1; ; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Outcome{Status: StatusCanceled, Attempts: attempt - 1, Err: err}
+		}
+		res, err := s.attempt(ctx, job, fn)
+		if err == nil {
+			return Outcome{Status: StatusOK, Result: res, Attempts: attempt}
+		}
+		// The parent context ending mid-attempt — SIGINT drain or the
+		// whole-sweep deadline — is a shutdown, not a per-run failure:
+		// never retried, journaled canceled so a resume re-runs it.
+		if ctx.Err() != nil {
+			return Outcome{Status: StatusCanceled, Attempts: attempt, Err: err}
+		}
+		switch Classify(err) {
+		case ClassCanceled:
+			return Outcome{Status: StatusCanceled, Attempts: attempt, Err: err}
+		case ClassPermanent:
+			return Outcome{Status: StatusFailed, Attempts: attempt, Err: err}
+		default: // transient: deadline or panic
+			if attempt >= s.cfg.MaxAttempts {
+				return Outcome{Status: StatusDegraded, Attempts: attempt, Err: err}
+			}
+			if s.cfg.Sleep(ctx, s.backoff(attempt)) != nil {
+				return Outcome{Status: StatusCanceled, Attempts: attempt, Err: err}
+			}
+		}
+	}
+}
+
+// attempt executes fn once with the per-attempt deadline installed and
+// panics contained as *RunPanicError.
+func (s *Supervisor) attempt(ctx context.Context, job Job, fn AttemptFunc) (res sim.Result, err error) {
+	if s.cfg.RunTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.RunTimeout)
+		defer cancel()
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			err = &RunPanicError{Spec: job.Key, Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn(ctx)
+}
+
+// backoff computes the jittered delay before retry number attempt.
+func (s *Supervisor) backoff(attempt int) time.Duration {
+	d := s.cfg.BackoffBase
+	for i := 1; i < attempt && d < s.cfg.BackoffMax; i++ {
+		d *= 2
+	}
+	if d > s.cfg.BackoffMax {
+		d = s.cfg.BackoffMax
+	}
+	s.mu.Lock()
+	j := 0.5 + 0.5*s.rng.Float64()
+	s.mu.Unlock()
+	return time.Duration(float64(d) * j)
+}

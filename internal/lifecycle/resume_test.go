@@ -1,0 +1,110 @@
+package lifecycle
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+
+	"rowsim/internal/sim"
+)
+
+// TestKilledSweepResumesExactlyMissingSpecs is the end-to-end recovery
+// story at the package level: a supervised sweep of ten specs is
+// "killed" mid-journal (the file is cut mid-record, as SIGKILL during
+// an append would leave it), and the resumed sweep must execute
+// exactly the specs the journal does not show complete — the torn one
+// included — while serving the finished ones from disk, ending with
+// results identical to an uninterrupted sweep.
+func TestKilledSweepResumesExactlyMissingSpecs(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	specs := make([]string, 10)
+	for i := range specs {
+		specs[i] = fmt.Sprintf("spec-%02d", i)
+	}
+	runSpec := func(key string) sim.Result {
+		// A deterministic stand-in for a simulation: the result is a
+		// function of the spec alone, like a seeded run.
+		return sim.Result{Cycles: uint64(1000 + len(key)*7), Committed: uint64(len(key))}
+	}
+
+	// Phase 1: run the sweep, stopping after 6 completed specs — then
+	// tear the journal mid-way through the 6th record to emulate
+	// SIGKILL during the append.
+	j, err := Create(path, Record{Tool: "test-sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := New(Config{Journal: j})
+	for _, key := range specs[:6] {
+		out := sup.Do(context.Background(), Job{Key: key, Seed: 1}, func(context.Context) (sim.Result, error) {
+			return runSpec(key), nil
+		})
+		if out.Status != StatusOK {
+			t.Fatalf("setup run %s: %+v", key, out)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-25); err != nil { // cut into the 6th record
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume. Only specs 5..9 may execute (5's record was
+	// torn); 0..4 come from the journal.
+	j2, snap, err := Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup2 := New(Config{Journal: j2})
+	var executed []string
+	final := make(map[string]sim.Result)
+	for _, key := range specs {
+		if rec, ok := snap.Completed(key); ok {
+			final[key] = *rec.Result
+			continue
+		}
+		key := key
+		out := sup2.Do(context.Background(), Job{Key: key, Seed: 1}, func(context.Context) (sim.Result, error) {
+			executed = append(executed, key)
+			return runSpec(key), nil
+		})
+		if out.Status != StatusOK {
+			t.Fatalf("resumed run %s: %+v", key, out)
+		}
+		final[key] = out.Result
+	}
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	want := []string{"spec-05", "spec-06", "spec-07", "spec-08", "spec-09"}
+	sort.Strings(executed)
+	if fmt.Sprint(executed) != fmt.Sprint(want) {
+		t.Fatalf("resume executed %v, want exactly the missing specs %v", executed, want)
+	}
+	// The aggregate equals an uninterrupted sweep's.
+	for _, key := range specs {
+		if final[key] != runSpec(key) {
+			t.Fatalf("resumed aggregate diverges at %s: %+v", key, final[key])
+		}
+	}
+	// And the healed journal now shows all ten specs complete.
+	snap2, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range specs {
+		if _, ok := snap2.Completed(key); !ok {
+			t.Fatalf("journal incomplete after resumed sweep: missing %s", key)
+		}
+	}
+}

@@ -40,6 +40,25 @@ func (e *CycleLimitError) Error() string {
 	return s
 }
 
+// RunCanceledError reports a run stopped by its context before
+// completion — cooperative cancellation (SIGINT drain, a supervisor
+// shutting down) or an expired wall-clock deadline. Cause is the
+// context's error, so errors.Is(err, context.Canceled) and
+// errors.Is(err, context.DeadlineExceeded) distinguish the two; the
+// lifecycle package classifies the former as a drain (never retried)
+// and the latter as a transient host-level failure (retryable).
+type RunCanceledError struct {
+	Cycle uint64 // simulation cycle at which the poll observed ctx.Err()
+	Cause error
+}
+
+func (e *RunCanceledError) Error() string {
+	return fmt.Sprintf("sim: run stopped at cycle %d: %v", e.Cycle, e.Cause)
+}
+
+// Unwrap exposes the context error for errors.Is.
+func (e *RunCanceledError) Unwrap() error { return e.Cause }
+
 // WaitEdge is one hop of the wait-for chain the deadlock diagnoser
 // walks: a core, the line its oldest outstanding transaction waits on,
 // the directory bank serving that line and the core the bank in turn

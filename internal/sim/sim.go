@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -200,6 +201,20 @@ const watchdogWindow = 1 << 19
 // protocol violation (*coherence.ProtocolError, with the message trace
 // for the affected line attached).
 func (s *System) Run() (Result, error) {
+	return s.RunCtx(context.Background())
+}
+
+// RunCtx is Run under cooperative cancellation: the context is polled
+// at the existing 1024-cycle watchdog cadence (never on the per-cycle
+// hot path), so an expired deadline or a canceled context stops the
+// run within one check window and returns a *RunCanceledError wrapping
+// ctx.Err(). The wall-clock deadline carried by the context is
+// distinct from the simulated-cycle budget (Config.MaxCycles): the
+// former bounds host time, the latter simulated time.
+func (s *System) RunCtx(ctx context.Context) (Result, error) {
+	if err := ctx.Err(); err != nil {
+		return Result{}, &RunCanceledError{Cycle: s.cycle, Cause: err}
+	}
 	var lastCommitted uint64
 	lastProgress := uint64(0)
 	watchdog := s.watchdog
@@ -250,6 +265,9 @@ func (s *System) Run() (Result, error) {
 			}
 		}
 		if cyc&1023 == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, &RunCanceledError{Cycle: cyc, Cause: err}
+			}
 			var committed uint64
 			for _, c := range s.cores {
 				committed += c.Stats.Committed

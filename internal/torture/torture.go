@@ -7,16 +7,20 @@
 package torture
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
+	"time"
 
 	"rowsim/internal/coherence"
 	"rowsim/internal/config"
 	"rowsim/internal/experiments"
 	"rowsim/internal/faults"
+	"rowsim/internal/lifecycle"
 	"rowsim/internal/sim"
 	"rowsim/internal/workload"
 	"rowsim/internal/xrand"
@@ -90,6 +94,26 @@ type Options struct {
 	CheckEvery uint64 // coherence-invariant interval (default 4096)
 	MaxCycles  uint64 // per-run cycle budget (default 20M)
 
+	// Ctx cancels the sweep (nil = context.Background()): no new runs
+	// start once it is done, in-flight simulations stop at the next
+	// 1024-cycle poll and are journaled canceled, so a SIGINT drains
+	// into a resumable checkpoint. A deadline on the context bounds
+	// the whole sweep's wall-clock time.
+	Ctx context.Context
+	// RunTimeout is the per-run wall-clock deadline, distinct from the
+	// simulated MaxCycles budget (0 = none). A timed-out run counts as
+	// transient and is retried.
+	RunTimeout time.Duration
+	// MaxAttempts is the per-run attempt budget for transient failures
+	// (timeout, panic); deterministic failures never retry. Default 1:
+	// a torture sweep reports what it saw unless retries are asked for.
+	MaxAttempts int
+	// Journal, when set, records every run outcome (crash-safe JSONL).
+	Journal *lifecycle.Journal
+	// Resume, when set, skips specs the journaled sweep already
+	// completed successfully; failures and canceled runs re-execute.
+	Resume *lifecycle.Snapshot
+
 	// Progress, when set, receives a line per completed run. Called
 	// from worker goroutines; must be safe for concurrent use.
 	Progress func(msg string)
@@ -123,6 +147,12 @@ func (o Options) withDefaults() Options {
 	if o.MaxCycles == 0 {
 		o.MaxCycles = 20_000_000
 	}
+	if o.Ctx == nil {
+		o.Ctx = context.Background()
+	}
+	if o.MaxAttempts == 0 {
+		o.MaxAttempts = 1
+	}
 	return o
 }
 
@@ -151,6 +181,12 @@ func (s RunSpec) ReproLine() string {
 // exhaustion (*sim.CycleLimitError) and invariant breaks
 // (*sim.CoherenceViolationError).
 func Execute(spec RunSpec) (sim.Result, error) {
+	return ExecuteCtx(context.Background(), spec)
+}
+
+// ExecuteCtx is Execute under cooperative cancellation: the run also
+// aborts with *sim.RunCanceledError when ctx ends.
+func ExecuteCtx(ctx context.Context, spec RunSpec) (sim.Result, error) {
 	v, err := LookupVariant(spec.Variant)
 	if err != nil {
 		return sim.Result{}, err
@@ -175,7 +211,7 @@ func Execute(spec RunSpec) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return s.Run()
+	return s.RunCtx(ctx)
 }
 
 // ReplayMismatchError reports nondeterminism: the same spec produced
@@ -191,7 +227,7 @@ type Failure struct {
 	Index int // run index within the sweep
 	Spec  RunSpec
 	Err   error
-	Kind  string // protocol | deadlock | cycle-limit | coherence | replay-mismatch | setup
+	Kind  string // protocol | deadlock | cycle-limit | coherence | replay-mismatch | panic | timeout | setup
 }
 
 // Classify names the failure mode of a run error.
@@ -201,6 +237,7 @@ func Classify(err error) string {
 	var ce *sim.CycleLimitError
 	var ve *sim.CoherenceViolationError
 	var re *ReplayMismatchError
+	var rp *lifecycle.RunPanicError
 	switch {
 	case errors.As(err, &re):
 		return "replay-mismatch"
@@ -212,6 +249,12 @@ func Classify(err error) string {
 		return "cycle-limit"
 	case errors.As(err, &ve):
 		return "coherence"
+	case errors.As(err, &rp):
+		return "panic"
+	case errors.Is(err, context.DeadlineExceeded):
+		return "timeout"
+	case errors.Is(err, context.Canceled):
+		return "canceled"
 	default:
 		return "setup"
 	}
@@ -221,11 +264,18 @@ func Classify(err error) string {
 type Summary struct {
 	Runs     int
 	Replayed int
+	// Skipped counts specs served from a resumed journal (already
+	// completed successfully in the interrupted sweep).
+	Skipped int
+	// Canceled counts specs the sweep did not finish before its
+	// context ended; a resume re-runs exactly these.
+	Canceled int
 	Failures []Failure
 	ByKind   map[string]int
 }
 
-// OK reports a clean sweep.
+// OK reports a clean sweep: no failures. An interrupted sweep can be
+// OK so far — check Canceled to know whether it is also complete.
 func (s Summary) OK() bool { return len(s.Failures) == 0 }
 
 // String renders the human summary, failures first.
@@ -235,6 +285,12 @@ func (s Summary) String() string {
 		out += fmt.Sprintf("FAIL [%s] %s\n  %v\n", f.Kind, f.Spec.ReproLine(), f.Err)
 	}
 	out += fmt.Sprintf("torture: %d runs, %d replayed, %d failures", s.Runs, s.Replayed, len(s.Failures))
+	if s.Skipped > 0 {
+		out += fmt.Sprintf(", %d resumed from journal", s.Skipped)
+	}
+	if s.Canceled > 0 {
+		out += fmt.Sprintf(", %d canceled (resumable)", s.Canceled)
+	}
 	if len(s.ByKind) > 0 {
 		kinds := make([]string, 0, len(s.ByKind))
 		for k := range s.ByKind {
@@ -271,14 +327,28 @@ func specs(opt Options) []RunSpec {
 	return out
 }
 
-// Torture runs the sweep and returns the summary.
+// Torture runs the sweep under the lifecycle supervisor and returns
+// the summary. Every run gets panic containment, the per-run timeout
+// and classified retry from the options; outcomes stream to the
+// journal when one is set, and a resume snapshot short-circuits specs
+// the journaled sweep already completed.
 func Torture(opt Options) Summary {
 	opt = opt.withDefaults()
 	all := specs(opt)
+	ctx := opt.Ctx
+
+	sup := lifecycle.New(lifecycle.Config{
+		MaxAttempts: opt.MaxAttempts,
+		RunTimeout:  opt.RunTimeout,
+		JitterSeed:  opt.Seed,
+		Journal:     opt.Journal,
+	})
 
 	type outcome struct {
+		status   lifecycle.Status
 		err      error
 		replayed bool
+		skipped  bool
 	}
 	outcomes := make([]outcome, len(all))
 
@@ -290,33 +360,74 @@ func Torture(opt Options) Summary {
 			defer wg.Done()
 			for i := range work {
 				spec := all[i]
-				res, err := Execute(spec)
+				key := spec.ReproLine()
+				if _, ok := opt.Resume.Completed(key); ok {
+					outcomes[i] = outcome{status: lifecycle.StatusOK, skipped: true}
+					if opt.Progress != nil {
+						opt.Progress(fmt.Sprintf("run %4d %-4s %-13s %-14s cores=%d (resumed from journal)",
+							i, "skip", spec.Workload, spec.Variant, spec.Cores))
+					}
+					continue
+				}
+				out := sup.Do(ctx, lifecycle.Job{Key: key, Seed: spec.Seed}, func(c context.Context) (sim.Result, error) {
+					return ExecuteCtx(c, spec)
+				})
+				err := out.Err
 				replayed := false
-				if err == nil && opt.ReplayEvery > 0 && i%opt.ReplayEvery == 0 {
+				if out.Status == lifecycle.StatusOK && opt.ReplayEvery > 0 && i%opt.ReplayEvery == 0 {
 					replayed = true
-					res2, err2 := Execute(spec)
+					res2, err2 := ExecuteCtx(ctx, spec)
 					switch {
+					case err2 != nil && lifecycle.Classify(err2) == lifecycle.ClassCanceled:
+						// The sweep was interrupted mid-replay: the run is
+						// fine, the determinism check just did not finish.
+						replayed = false
 					case err2 != nil:
 						err = &ReplayMismatchError{Detail: fmt.Sprintf("replay failed where the first run passed: %v", err2)}
-					case res2 != res:
+					case res2 != out.Result:
 						err = &ReplayMismatchError{Detail: fmt.Sprintf("first run %d cycles / %d messages, replay %d cycles / %d messages",
-							res.Cycles, res.NetworkMessages, res2.Cycles, res2.NetworkMessages)}
+							out.Result.Cycles, out.Result.NetworkMessages, res2.Cycles, res2.NetworkMessages)}
+					}
+					if err != nil {
+						// Override the journaled ok: the latest record per
+						// key wins on resume, so the mismatch re-runs.
+						out.Status = lifecycle.StatusFailed
+						if opt.Journal != nil {
+							opt.Journal.Append(lifecycle.Record{
+								Kind: "run", Key: key, Seed: spec.Seed,
+								Status: lifecycle.StatusFailed, Attempts: out.Attempts,
+								Class: "replay-mismatch", Error: err.Error(),
+							})
+						}
 					}
 				}
-				outcomes[i] = outcome{err: err, replayed: replayed}
+				outcomes[i] = outcome{status: out.Status, err: err, replayed: replayed}
 				if opt.Progress != nil {
 					status := "ok"
-					if err != nil {
+					if out.Status != lifecycle.StatusOK {
+						status = strings.ToUpper(string(out.Status))
+					} else if err != nil {
 						status = "FAIL"
 					}
-					opt.Progress(fmt.Sprintf("run %4d %-4s %-13s %-14s cores=%d faults=%s",
-						i, status, spec.Workload, spec.Variant, spec.Cores, spec.Faults.Spec()))
+					opt.Progress(fmt.Sprintf("run %4d %-4s %-13s %-14s cores=%d faults=%s attempts=%d",
+						i, status, spec.Workload, spec.Variant, spec.Cores, spec.Faults.Spec(), out.Attempts))
 				}
 			}
 		}()
 	}
+feed:
 	for i := range all {
-		work <- i
+		select {
+		case work <- i:
+		case <-ctx.Done():
+			// SIGINT / sweep deadline: stop dispatching; in-flight runs
+			// drain (their simulations stop at the next cancellation
+			// poll and are journaled canceled).
+			for j := i; j < len(all); j++ {
+				outcomes[j].status = lifecycle.StatusCanceled
+			}
+			break feed
+		}
 	}
 	close(work)
 	wg.Wait()
@@ -325,6 +436,13 @@ func Torture(opt Options) Summary {
 	for i, o := range outcomes {
 		if o.replayed {
 			sum.Replayed++
+		}
+		if o.skipped {
+			sum.Skipped++
+		}
+		if o.status == lifecycle.StatusCanceled {
+			sum.Canceled++
+			continue
 		}
 		if o.err == nil {
 			continue
