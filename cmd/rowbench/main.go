@@ -22,6 +22,7 @@ import (
 
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
+	"rowsim/internal/profiling"
 	"rowsim/internal/stats"
 	"rowsim/internal/viz"
 	"rowsim/internal/workload"
@@ -71,8 +72,35 @@ func run() (code int) {
 		wls       = flag.String("workloads", "", "comma-separated workload subset (default: the 13 atomic-intensive)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
 		quiet     = flag.Bool("q", false, "suppress per-run progress")
+		jobs      = flag.Int("jobs", 0, "parallel simulation workers for figure sweeps (<1 = GOMAXPROCS); output is identical for any value")
+
+		benchJSON  = flag.String("bench-json", "", "run the figure benchmark suite and write a JSON report to this path")
+		benchBase  = flag.String("bench-baseline", "", "with -bench-json: compare against this baseline report and fail on regression")
+		maxRegress = flag.Float64("max-regress", 0.25, "wall-time regression tolerated by -bench-baseline (0.25 = +25%)")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if code == 0 {
+				code = 1
+			}
+		}
+	}()
+
+	if *benchJSON != "" {
+		return runBenchSuite(*benchJSON, *benchBase, *maxRegress, *jobs, *quiet)
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -88,6 +116,7 @@ func run() (code int) {
 		}
 	}
 	r := experiments.NewRunner(opt)
+	r.SetJobs(*jobs)
 	r.SetContext(ctx)
 	r.Supervise(lifecycle.New(lifecycle.Config{RunTimeout: *timeout, JitterSeed: r.Options().Seed}))
 	if !*quiet {

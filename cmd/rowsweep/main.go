@@ -29,10 +29,12 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
 
 	"rowsim/internal/config"
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
+	"rowsim/internal/profiling"
 	"rowsim/internal/sim"
 	"rowsim/internal/stats"
 	"rowsim/internal/workload"
@@ -77,8 +79,24 @@ func run() int {
 		timeout = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
 		deadlin = flag.Duration("deadline", 0, "whole-sweep wall-clock deadline (0 = off)")
 		retries = flag.Int("retries", 3, "attempt budget per run for transient failures (timeout, panic)")
+		jobs    = flag.Int("jobs", 0, "parallel sweep workers (<1 = GOMAXPROCS); aggregate output is identical for any value")
+
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
+		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuprofile, *memprofile, *traceFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
+	}()
 
 	// Seed 0 means "the default": resolve it here so the journal and
 	// every repro record carry the real seed, never the ambiguous 0.
@@ -97,7 +115,6 @@ func run() int {
 	var (
 		jnl  *lifecycle.Journal
 		snap *lifecycle.Snapshot
-		err  error
 	)
 	switch {
 	case *resume != "":
@@ -155,10 +172,19 @@ func run() int {
 	})
 
 	// outcomes collects one supervised outcome per (value, policy) cell.
+	// Cells are independent deterministic simulations, so they fan out
+	// across a worker pool; the journal records outcomes in completion
+	// order, but the aggregate table below is built from this map in
+	// sweep order and is byte-identical for any worker count.
 	outcomes := make(map[string]lifecycle.Outcome)
 	canceled := false
 	rawValues := strings.Split(*values, ",")
-sweep:
+	type cellSpec struct {
+		key  string
+		wp   workload.Params
+		pcfg config.AtomicPolicy
+	}
+	var cells []cellSpec
 	for _, raw := range rawValues {
 		v, err := strconv.ParseFloat(strings.TrimSpace(raw), 64)
 		if err != nil {
@@ -174,39 +200,45 @@ sweep:
 				fmt.Fprintf(os.Stderr, "%-30s resumed from journal\n", key)
 				continue
 			}
-			if ctx.Err() != nil {
-				canceled = true
-				break sweep
-			}
-			pcfg := pol.p
-			wp := p
-			out := sup.Do(ctx, lifecycle.Job{Key: key, Seed: *seed}, func(c context.Context) (sim.Result, error) {
-				progs := workload.Generate(wp, *cores, *instrs, *seed)
-				cfg := config.Default()
-				cfg.NumCores = *cores
-				cfg.Policy = pcfg
-				cfg.RoW.Predictor = config.PredSaturate
-				cfg.EarlyAddrCalc = pcfg == config.PolicyRoW
-				cfg.MaxCycles = 500_000_000
-				s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(wp)))
-				if err != nil {
-					return sim.Result{}, err
-				}
-				return s.RunCtx(c)
-			})
-			outcomes[key] = out
-			switch out.Status {
-			case lifecycle.StatusCanceled:
-				canceled = true
-				break sweep
-			case lifecycle.StatusOK:
-				fmt.Fprintf(os.Stderr, "%-30s ok (%d attempt(s))\n", key, out.Attempts)
-			default:
-				// Degrade gracefully: record and keep sweeping.
-				fmt.Fprintf(os.Stderr, "%-30s %s after %d attempt(s): %v\n", key, out.Status, out.Attempts, out.Err)
-			}
+			cells = append(cells, cellSpec{key: key, wp: p, pcfg: pol.p})
 		}
 	}
+	var mu sync.Mutex
+	experiments.ForEach(experiments.Jobs(*jobs), len(cells), func(i int) {
+		c := cells[i]
+		if ctx.Err() != nil {
+			mu.Lock()
+			canceled = true
+			mu.Unlock()
+			return
+		}
+		out := sup.Do(ctx, lifecycle.Job{Key: c.key, Seed: *seed}, func(runCtx context.Context) (sim.Result, error) {
+			progs := workload.Generate(c.wp, *cores, *instrs, *seed)
+			cfg := config.Default()
+			cfg.NumCores = *cores
+			cfg.Policy = c.pcfg
+			cfg.RoW.Predictor = config.PredSaturate
+			cfg.EarlyAddrCalc = c.pcfg == config.PolicyRoW
+			cfg.MaxCycles = 500_000_000
+			s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(c.wp)))
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return s.RunCtx(runCtx)
+		})
+		mu.Lock()
+		outcomes[c.key] = out
+		switch out.Status {
+		case lifecycle.StatusCanceled:
+			canceled = true
+		case lifecycle.StatusOK:
+			fmt.Fprintf(os.Stderr, "%-30s ok (%d attempt(s))\n", c.key, out.Attempts)
+		default:
+			// Degrade gracefully: record and keep sweeping.
+			fmt.Fprintf(os.Stderr, "%-30s %s after %d attempt(s): %v\n", c.key, out.Status, out.Attempts, out.Err)
+		}
+		mu.Unlock()
+	})
 
 	if canceled {
 		hint := ""

@@ -1,0 +1,124 @@
+// Package bench defines the benchmark-regression gate's JSON format:
+// cmd/rowbench -bench-json emits one Report per revision (wall time,
+// simulated cycles per second and allocations per figure benchmark),
+// the repo commits a baseline, and CI compares fresh numbers against
+// it so a hot-path regression fails the build instead of landing
+// silently. Wall-clock numbers move with the host, so comparisons are
+// per-entry ratios against the baseline measured in the same
+// environment (CI compares CI-to-CI scale runs).
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"sort"
+)
+
+// Entry is one benchmark's measurement.
+type Entry struct {
+	Name string `json:"name"`
+	// WallNS is the benchmark's wall-clock time in nanoseconds.
+	WallNS int64 `json:"wall_ns"`
+	// Cycles is the total number of simulated cycles executed.
+	Cycles uint64 `json:"cycles"`
+	// CyclesPerSec is the simulator's throughput on this benchmark.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// Allocs is the number of heap allocations over the benchmark.
+	Allocs uint64 `json:"allocs"`
+	// Bytes is the number of heap bytes allocated over the benchmark.
+	Bytes uint64 `json:"bytes"`
+}
+
+// Report is the full per-revision measurement set.
+type Report struct {
+	// Rev identifies the measured revision (git short hash or "ci").
+	Rev        string  `json:"rev"`
+	GoVersion  string  `json:"go_version"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	Jobs       int     `json:"jobs"`
+	Entries    []Entry `json:"entries"`
+}
+
+// Sort orders entries by name so reports diff cleanly.
+func (r *Report) Sort() {
+	sort.Slice(r.Entries, func(i, j int) bool { return r.Entries[i].Name < r.Entries[j].Name })
+}
+
+// New builds an empty report for the given revision tag.
+func New(rev string, jobs int) Report {
+	return Report{
+		Rev:        rev,
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Jobs:       jobs,
+	}
+}
+
+// Write stores the report as indented JSON (stable field and entry
+// order, trailing newline) so committed baselines diff cleanly.
+func Write(path string, r Report) error {
+	r.Sort()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// Read loads a report written by Write.
+func Read(path string) (Report, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return Report{}, fmt.Errorf("bench: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(b, &r); err != nil {
+		return Report{}, fmt.Errorf("bench: %s: %w", path, err)
+	}
+	return r, nil
+}
+
+// Compare checks current against baseline and returns one message per
+// regression: an entry whose wall time grew by more than maxRegress
+// (0.25 = 25%). Entries present on only one side are reported as
+// informational mismatches but never fail the gate (benchmark sets may
+// grow); the returned bool is true when the gate passes.
+func Compare(baseline, current Report, maxRegress float64) (msgs []string, ok bool) {
+	base := make(map[string]Entry, len(baseline.Entries))
+	for _, e := range baseline.Entries {
+		base[e.Name] = e
+	}
+	current.Sort()
+	ok = true
+	for _, e := range current.Entries {
+		b, found := base[e.Name]
+		if !found {
+			msgs = append(msgs, fmt.Sprintf("%s: no baseline entry (new benchmark)", e.Name))
+			continue
+		}
+		if b.WallNS <= 0 {
+			continue
+		}
+		ratio := float64(e.WallNS) / float64(b.WallNS)
+		if ratio > 1+maxRegress {
+			ok = false
+			msgs = append(msgs, fmt.Sprintf("%s: REGRESSION %.2fx wall time (%.1fms -> %.1fms, limit +%.0f%%)",
+				e.Name, ratio, float64(b.WallNS)/1e6, float64(e.WallNS)/1e6, maxRegress*100))
+		}
+	}
+	for _, b := range baseline.Entries {
+		found := false
+		for _, e := range current.Entries {
+			if e.Name == b.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			msgs = append(msgs, fmt.Sprintf("%s: baseline entry missing from current run", b.Name))
+		}
+	}
+	return msgs, ok
+}

@@ -1,0 +1,102 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testReport() Report {
+	r := New("abc1234", 4)
+	r.Entries = []Entry{
+		{Name: "Fig9", WallNS: 2_000_000, Cycles: 5000, CyclesPerSec: 2.5e9, Allocs: 10, Bytes: 640},
+		{Name: "Fig1", WallNS: 1_000_000, Cycles: 3000, CyclesPerSec: 3e9, Allocs: 7, Bytes: 512},
+	}
+	return r
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	want := testReport()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want.Sort() // Write sorts entries; the round trip returns them sorted
+	if got.Rev != want.Rev || got.Jobs != want.Jobs || len(got.Entries) != len(want.Entries) {
+		t.Fatalf("round trip mangled header: %+v", got)
+	}
+	for i := range want.Entries {
+		if got.Entries[i] != want.Entries[i] {
+			t.Fatalf("entry %d: got %+v want %+v", i, got.Entries[i], want.Entries[i])
+		}
+	}
+	if got.Entries[0].Name != "Fig1" {
+		t.Fatalf("entries not sorted on disk: first is %s", got.Entries[0].Name)
+	}
+}
+
+func TestCompareGate(t *testing.T) {
+	base := testReport()
+
+	// Identical runs pass with no messages.
+	if msgs, ok := Compare(base, base, 0.25); !ok || len(msgs) != 0 {
+		t.Fatalf("self-comparison failed: ok=%v msgs=%v", ok, msgs)
+	}
+
+	// 20% slower is within a 25% gate.
+	cur := testReport()
+	for i := range cur.Entries {
+		cur.Entries[i].WallNS = cur.Entries[i].WallNS * 120 / 100
+	}
+	if msgs, ok := Compare(base, cur, 0.25); !ok {
+		t.Fatalf("20%% slowdown tripped a 25%% gate: %v", msgs)
+	}
+
+	// 50% slower on one entry fails, and names the offender.
+	cur = testReport()
+	cur.Entries[0].WallNS = cur.Entries[0].WallNS * 150 / 100
+	msgs, ok := Compare(base, cur, 0.25)
+	if ok {
+		t.Fatal("50% slowdown passed a 25% gate")
+	}
+	found := false
+	for _, m := range msgs {
+		if strings.Contains(m, "Fig9") && strings.Contains(m, "REGRESSION") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("regression message does not name the offender: %v", msgs)
+	}
+
+	// New and missing entries are informational, never a failure.
+	cur = testReport()
+	cur.Entries = append(cur.Entries[:1], Entry{Name: "FigNew", WallNS: 1})
+	msgs, ok = Compare(base, cur, 0.25)
+	if !ok {
+		t.Fatalf("entry-set drift failed the gate: %v", msgs)
+	}
+	var sawNew, sawMissing bool
+	for _, m := range msgs {
+		if strings.Contains(m, "FigNew") {
+			sawNew = true
+		}
+		if strings.Contains(m, "missing from current") {
+			sawMissing = true
+		}
+	}
+	if !sawNew || !sawMissing {
+		t.Fatalf("expected informational messages for drift, got %v", msgs)
+	}
+
+	// Zero-wall baseline entries are skipped rather than dividing by zero.
+	zero := testReport()
+	zero.Entries[0].WallNS = 0
+	if _, ok := Compare(zero, testReport(), 0.25); !ok {
+		t.Fatal("zero-wall baseline entry failed the gate")
+	}
+}

@@ -7,7 +7,6 @@
 package cache
 
 import (
-	"container/heap"
 	"fmt"
 
 	"rowsim/internal/coherence"
@@ -109,23 +108,56 @@ const (
 	evMiss
 )
 
+// eventHeap is a typed binary min-heap ordered by (at, seq) —
+// hand-rolled for the same reason as the mesh's: container/heap boxes
+// every event through interface{}, one allocation per scheduled lookup.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) pushEvent(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) popEvent() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 type strideEntry struct {
@@ -139,6 +171,93 @@ type stalledExt struct {
 	msg     *coherence.Msg
 	stallAt uint64
 }
+
+// mshrSet is a dense table of outstanding misses keyed by line. The
+// miss count is bounded by the MSHR limit (16 by default), so a linear
+// scan over a flat array beats a map on every hot-path lookup and,
+// unlike a map of pointers, allocates nothing in steady state.
+type mshrSet struct {
+	lines []uint64
+	ms    []mshr
+}
+
+func (s *mshrSet) get(line uint64) *mshr {
+	for i, l := range s.lines {
+		if l == line {
+			return &s.ms[i]
+		}
+	}
+	return nil
+}
+
+// add inserts and returns the slot; the pointer is valid only until
+// the next add or remove.
+func (s *mshrSet) add(line uint64, m mshr) *mshr {
+	s.lines = append(s.lines, line)
+	s.ms = append(s.ms, m)
+	return &s.ms[len(s.ms)-1]
+}
+
+func (s *mshrSet) remove(line uint64) {
+	for i, l := range s.lines {
+		if l == line {
+			n := len(s.lines) - 1
+			s.lines[i] = s.lines[n]
+			s.ms[i] = s.ms[n]
+			s.lines = s.lines[:n]
+			s.ms[n] = mshr{} // drop the tail's waiter-slice reference
+			s.ms = s.ms[:n]
+			return
+		}
+	}
+}
+
+func (s *mshrSet) len() int { return len(s.lines) }
+
+// stalledSet is the same flat-table idea for stalled external
+// requests; the directory serializes transactions per line, so the
+// set holds at most one entry per locked line and is almost always
+// empty or length one.
+type stalledSet struct {
+	lines []uint64
+	exts  []stalledExt
+}
+
+func (s *stalledSet) get(line uint64) *stalledExt {
+	for i, l := range s.lines {
+		if l == line {
+			return &s.exts[i]
+		}
+	}
+	return nil
+}
+
+func (s *stalledSet) add(line uint64, e stalledExt) {
+	s.lines = append(s.lines, line)
+	s.exts = append(s.exts, e)
+}
+
+func (s *stalledSet) removeAt(i int) {
+	n := len(s.lines) - 1
+	s.lines[i] = s.lines[n]
+	s.exts[i] = s.exts[n]
+	s.lines = s.lines[:n]
+	s.exts[n] = stalledExt{}
+	s.exts = s.exts[:n]
+}
+
+func (s *stalledSet) remove(line uint64) (stalledExt, bool) {
+	for i, l := range s.lines {
+		if l == line {
+			e := s.exts[i]
+			s.removeAt(i)
+			return e, true
+		}
+	}
+	return stalledExt{}, false
+}
+
+func (s *stalledSet) len() int { return len(s.lines) }
 
 // Stats aggregates controller behaviour.
 type Stats struct {
@@ -172,10 +291,21 @@ type Private struct {
 	l1Hit int
 	l2Hit int
 
-	mshrs      map[uint64]*mshr
+	mshrs      mshrSet
 	mshrLimit  int
-	stalled    map[uint64]*stalledExt
+	stalled    stalledSet
 	pendingFar map[uint64][]waiter // outstanding far RMWs by line, FIFO
+
+	// waiterFree recycles the waiter slices of retired MSHRs so the
+	// steady state allocates none.
+	waiterFree [][]waiter
+
+	pool *coherence.MsgPool
+
+	// work counts observable actions taken by Tick (event completions,
+	// forced releases). The system's idle-skip cross-check asserts it
+	// stays unchanged when a skipped Tick is replayed.
+	work uint64
 
 	events eventHeap
 	seq    uint64
@@ -203,9 +333,7 @@ func NewPrivate(coreID int, cfg *config.Config, net coherence.Network, client Cl
 		lineMask:   ^uint64(m.LineBytes - 1),
 		l1Hit:      m.L1D.HitCycles,
 		l2Hit:      m.L2.HitCycles,
-		mshrs:      make(map[uint64]*mshr),
 		mshrLimit:  m.MSHRs,
-		stalled:    make(map[uint64]*stalledExt),
 		pendingFar: make(map[uint64][]waiter),
 		strides:    make([]strideEntry, 64),
 		pfDegree:   m.PrefetcherDegree,
@@ -219,6 +347,25 @@ func NewPrivate(coreID int, cfg *config.Config, net coherence.Network, client Cl
 // violations panic (fail-fast for components driven directly by tests).
 func (p *Private) SetErrorSink(s *coherence.ErrorSink) { p.sink = s }
 
+// SetMsgPool installs the system-shared message free list. A nil pool
+// (component tests) falls back to the allocator.
+func (p *Private) SetMsgPool(mp *coherence.MsgPool) { p.pool = mp }
+
+// SetNow advances the controller clock without running Tick. The
+// system calls it when NeedsTick is false: the core may still issue
+// Accesses this cycle, and those schedule events relative to now.
+func (p *Private) SetNow(cycle uint64) { p.now = cycle }
+
+// NeedsTick reports whether Tick would do anything beyond advancing
+// the clock: pending pipeline events or stalled external requests.
+func (p *Private) NeedsTick() bool {
+	return len(p.events) > 0 || p.stalled.len() > 0
+}
+
+// WorkDone counts observable Tick actions; the idle-skip cross-check
+// replays a skipped Tick and asserts this does not move.
+func (p *Private) WorkDone() uint64 { return p.work }
+
 // fail raises a structured protocol error for this endpoint.
 func (p *Private) fail(m *coherence.Msg, reason string) {
 	pe := &coherence.ProtocolError{
@@ -229,7 +376,7 @@ func (p *Private) fail(m *coherence.Msg, reason string) {
 	if m != nil {
 		pe.Op = m.String()
 		pe.Line = m.Line
-		if ms, ok := p.mshrs[m.Line]; ok {
+		if ms := p.mshrs.get(m.Line); ms != nil {
 			pe.State = fmt.Sprintf("mshr{write=%v dataArrived=%v grant=%d acks=%d waiters=%d sentAt=%d}",
 				ms.write, ms.dataArrived, ms.grant, ms.pendingAcks, len(ms.waiters), ms.sentAt)
 		}
@@ -264,7 +411,7 @@ func (p *Private) setState(line uint64, st uint8) {
 func (p *Private) push(e event) {
 	p.seq++
 	e.seq = p.seq
-	heap.Push(&p.events, e)
+	p.events.pushEvent(e)
 }
 
 // Access requests the line for the core. write asks for exclusive
@@ -328,7 +475,7 @@ func (p *Private) startMiss(tag uint64, line uint64, write bool, at uint64) {
 		}
 		return
 	}
-	if m, ok := p.mshrs[line]; ok {
+	if m := p.mshrs.get(line); m != nil {
 		// Secondary miss: merge. A write waiter merged onto an
 		// in-flight GetS is re-issued as an upgrade when the read
 		// fill completes (see maybeComplete).
@@ -337,7 +484,7 @@ func (p *Private) startMiss(tag uint64, line uint64, write bool, at uint64) {
 		}
 		return
 	}
-	if p.mshrLimit > 0 && len(p.mshrs) >= p.mshrLimit {
+	if p.mshrLimit > 0 && p.mshrs.len() >= p.mshrLimit {
 		// All fill buffers busy: prefetches drop, demand misses retry.
 		if tag == TagPrefetch {
 			return
@@ -347,26 +494,26 @@ func (p *Private) startMiss(tag uint64, line uint64, write bool, at uint64) {
 		p.push(event{at: p.now + 4, kind: evMiss, tag: tag, line: line, wr: write, lat: p.now + 4 - at})
 		return
 	}
-	m := &mshr{line: line, write: write, sentAt: p.now}
+	m := mshr{line: line, write: write, sentAt: p.now, waiters: p.getWaiters()}
 	if tag != TagPrefetch {
 		m.waiters = append(m.waiters, waiter{tag: tag, at: at, write: write})
 	}
-	p.mshrs[line] = m
+	p.mshrs.add(line, m)
 	p.Stats.Misses.Inc()
 	t := coherence.MsgGetS
 	if write {
 		t = coherence.MsgGetX
 	}
-	p.net.Send(&coherence.Msg{
+	p.net.Send(p.pool.New(coherence.Msg{
 		Type: t, Line: line, Src: p.coreID, Dst: p.bankOf(line), Requestor: p.coreID,
-	})
+	}))
 }
 
 // PendingWrite reports whether an exclusive request for the line is
 // already in flight (e.g. a store's exclusive prefetch).
 func (p *Private) PendingWrite(line uint64) bool {
-	m, ok := p.mshrs[line]
-	return ok && m.write
+	m := p.mshrs.get(line)
+	return m != nil && m.write
 }
 
 // StoreComplete performs a store-buffer drain write when the line is
@@ -399,16 +546,16 @@ func (p *Private) FarRMW(tag uint64, addr uint64) {
 	if _, present := p.l2.Invalidate(line); present {
 		// Relinquish ownership silently; the directory treats the
 		// subsequent recall-miss as a stale forward.
-		p.net.Send(&coherence.Msg{
+		p.net.Send(p.pool.New(coherence.Msg{
 			Type: coherence.MsgPutX, Line: line, Src: p.coreID, Dst: p.bankOf(line),
 			Requestor: p.coreID,
-		})
+		}))
 	}
 	p.pendingFar[line] = append(p.pendingFar[line], waiter{tag: tag, at: p.now})
-	p.net.Send(&coherence.Msg{
+	p.net.Send(p.pool.New(coherence.Msg{
 		Type: coherence.MsgGetFar, Line: line, Src: p.coreID, Dst: p.bankOf(line),
 		Requestor: p.coreID,
-	})
+	}))
 }
 
 // TrainPrefetch feeds the IP-stride prefetcher with a demand load.
@@ -444,7 +591,7 @@ func (p *Private) TrainPrefetch(pc, addr uint64) {
 		if line == p.Line(addr) || p.State(line) != StateI {
 			continue
 		}
-		if _, busy := p.mshrs[line]; busy {
+		if p.mshrs.get(line) != nil {
 			continue
 		}
 		p.Stats.Prefetches.Inc()
@@ -452,33 +599,40 @@ func (p *Private) TrainPrefetch(pc, addr uint64) {
 	}
 }
 
-// Deliver processes protocol messages drained from the network.
+// Deliver processes protocol messages drained from the network. A
+// fully consumed message is released to the pool here — the single
+// consumption point on the cache side; a message parked in the stalled
+// table is released when the stall resolves.
 func (p *Private) Deliver(msgs []*coherence.Msg) {
 	for _, m := range msgs {
-		p.handle(m)
+		if p.handle(m) {
+			p.pool.Put(m)
+		}
 	}
 }
 
-func (p *Private) handle(m *coherence.Msg) {
+// handle dispatches one message and reports whether it was fully
+// consumed (false: retained in the stalled-external table).
+func (p *Private) handle(m *coherence.Msg) bool {
 	switch m.Type {
 	case coherence.MsgData:
 		p.handleData(m)
 	case coherence.MsgInvAck:
-		if ms, ok := p.mshrs[m.Line]; ok {
+		if ms := p.mshrs.get(m.Line); ms != nil {
 			ms.pendingAcks--
 			p.maybeComplete(m.Line, ms)
 		}
 	case coherence.MsgInv:
-		p.handleExternal(m, true)
+		return p.handleExternal(m, true)
 	case coherence.MsgFwdGetX:
-		p.handleExternal(m, true)
+		return p.handleExternal(m, true)
 	case coherence.MsgFwdGetS:
-		p.handleExternal(m, false)
+		return p.handleExternal(m, false)
 	case coherence.MsgFarDone:
 		ws := p.pendingFar[m.Line]
 		if len(ws) == 0 {
 			p.fail(m, "FarDone without a pending far RMW")
-			return
+			return true
 		}
 		w := ws[0]
 		if len(ws) == 1 {
@@ -490,11 +644,12 @@ func (p *Private) handle(m *coherence.Msg) {
 	default:
 		p.fail(m, "unexpected message type")
 	}
+	return true
 }
 
 func (p *Private) handleData(m *coherence.Msg) {
-	ms, ok := p.mshrs[m.Line]
-	if !ok {
+	ms := p.mshrs.get(m.Line)
+	if ms == nil {
 		// Response for a line whose MSHR disappeared cannot happen:
 		// MSHRs only retire on completion.
 		p.fail(m, "Data response without a matching MSHR")
@@ -507,11 +662,15 @@ func (p *Private) handleData(m *coherence.Msg) {
 	p.maybeComplete(m.Line, ms)
 }
 
-func (p *Private) maybeComplete(line uint64, ms *mshr) {
-	if !ms.dataArrived || ms.pendingAcks != 0 {
+func (p *Private) maybeComplete(line uint64, msp *mshr) {
+	if !msp.dataArrived || msp.pendingAcks != 0 {
 		return
 	}
-	delete(p.mshrs, line)
+	// Copy the entry out and free the slot first: re-issued upgrade
+	// misses below allocate a fresh MSHR for the same line, and the
+	// table remove invalidates pointers into it.
+	ms := *msp
+	p.mshrs.remove(line)
 
 	st := StateS
 	switch ms.grant {
@@ -531,10 +690,10 @@ func (p *Private) maybeComplete(line uint64, ms *mshr) {
 	if ms.grant == coherence.GrantM || ms.write {
 		ut = coherence.MsgUnblockX
 	}
-	p.net.Send(&coherence.Msg{
+	p.net.Send(p.pool.New(coherence.Msg{
 		Type: ut, Line: line, Src: p.coreID, Dst: p.bankOf(line),
 		Requestor: p.coreID, Grant: grant,
-	})
+	}))
 
 	fillLat := p.now - ms.sentAt
 	if len(ms.waiters) > 0 {
@@ -542,11 +701,12 @@ func (p *Private) maybeComplete(line uint64, ms *mshr) {
 		p.Stats.MissHist.Observe(float64(fillLat))
 	}
 
-	var reissue []waiter
+	// Serve read-satisfiable waiters, then re-issue writers that a
+	// shared grant cannot satisfy (upgrade). Two passes over the same
+	// slice preserve the historical serve-then-reissue order without a
+	// scratch buffer; the backing array is recycled only after both.
 	for _, w := range ms.waiters {
 		if w.write && st != StateM && st != StateE {
-			// GrantS cannot satisfy writers: upgrade.
-			reissue = append(reissue, w)
 			continue
 		}
 		if w.write {
@@ -559,26 +719,52 @@ func (p *Private) maybeComplete(line uint64, ms *mshr) {
 			FromPrivate: ms.fromPrivate,
 		})
 	}
-	for _, w := range reissue {
-		p.startMiss(w.tag, line, true, w.at)
+	for _, w := range ms.waiters {
+		if w.write && st != StateM && st != StateE {
+			// GrantS cannot satisfy writers: upgrade.
+			p.startMiss(w.tag, line, true, w.at)
+		}
 	}
+	p.putWaiters(ms.waiters)
+}
+
+// getWaiters hands out a recycled zero-length waiter slice (nil when
+// the free list is empty: append then allocates once and the array
+// returns here on retire).
+func (p *Private) getWaiters() []waiter {
+	if n := len(p.waiterFree); n > 0 {
+		w := p.waiterFree[n-1]
+		p.waiterFree = p.waiterFree[:n-1]
+		return w
+	}
+	return nil
+}
+
+func (p *Private) putWaiters(w []waiter) {
+	if cap(w) == 0 {
+		return
+	}
+	p.waiterFree = append(p.waiterFree, w[:0])
 }
 
 // handleExternal processes Inv/FwdGetS/FwdGetX, stalling when the
 // line is locked by the core's atomic queue.
-func (p *Private) handleExternal(m *coherence.Msg, write bool) {
+// handleExternal reports whether the message was consumed (false: it
+// is retained in the stalled table until the lock releases).
+func (p *Private) handleExternal(m *coherence.Msg, write bool) bool {
 	if stall := p.client.ExternalRequest(m.Line, write); stall {
 		p.Stats.ExtStalls.Inc()
-		if prev, ok := p.stalled[m.Line]; ok {
+		if prev := p.stalled.get(m.Line); prev != nil {
 			// The directory serializes transactions per line, so at
 			// most one external request can be outstanding.
 			p.fail(m, fmt.Sprintf("second stalled external request (already have %s)", prev.msg))
-			return
+			return true
 		}
-		p.stalled[m.Line] = &stalledExt{msg: m, stallAt: p.now}
-		return
+		p.stalled.add(m.Line, stalledExt{msg: m, stallAt: p.now})
+		return false
 	}
 	p.serveExternal(m)
+	return true
 }
 
 func (p *Private) serveExternal(m *coherence.Msg) {
@@ -589,26 +775,26 @@ func (p *Private) serveExternal(m *coherence.Msg) {
 		p.l1.Invalidate(line)
 		p.l2.Invalidate(line)
 		p.client.LineInvalidated(line)
-		p.net.SendAfter(&coherence.Msg{
+		p.net.SendAfter(p.pool.New(coherence.Msg{
 			Type: coherence.MsgInvAck, Line: line, Src: p.coreID, Dst: m.Requestor,
 			Requestor: m.Requestor,
-		}, uint64(p.l1Hit))
+		}), uint64(p.l1Hit))
 	case coherence.MsgFwdGetX:
 		p.Stats.Forwarded.Inc()
 		p.l1.Invalidate(line)
 		p.l2.Invalidate(line)
 		p.client.LineInvalidated(line)
-		p.net.SendAfter(&coherence.Msg{
+		p.net.SendAfter(p.pool.New(coherence.Msg{
 			Type: coherence.MsgData, Line: line, Src: p.coreID, Dst: m.Requestor,
 			Requestor: m.Requestor, Grant: coherence.GrantM, FromPrivate: true,
-		}, uint64(p.l1Hit))
+		}), uint64(p.l1Hit))
 	case coherence.MsgFwdGetS:
 		p.Stats.Forwarded.Inc()
 		p.setState(line, StateS)
-		p.net.SendAfter(&coherence.Msg{
+		p.net.SendAfter(p.pool.New(coherence.Msg{
 			Type: coherence.MsgData, Line: line, Src: p.coreID, Dst: m.Requestor,
 			Requestor: m.Requestor, Grant: coherence.GrantS, FromPrivate: true,
-		}, uint64(p.l1Hit))
+		}), uint64(p.l1Hit))
 	default:
 		p.fail(m, "cannot serve external request type")
 	}
@@ -617,9 +803,9 @@ func (p *Private) serveExternal(m *coherence.Msg) {
 // LockReleased must be called by the core when an atomic unlocks a
 // line; any stalled external request for it is then served.
 func (p *Private) LockReleased(line uint64) {
-	if s, ok := p.stalled[line]; ok {
-		delete(p.stalled, line)
+	if s, ok := p.stalled.remove(line); ok {
 		p.serveExternal(s.msg)
+		p.pool.Put(s.msg)
 	}
 }
 
@@ -653,10 +839,10 @@ func (p *Private) installL2(line uint64, st uint8) {
 		// this core as a sharer and will send the invalidation.
 		p.client.LineInvalidated(evTag)
 		p.Stats.Writebacks.Inc()
-		p.net.Send(&coherence.Msg{
+		p.net.Send(p.pool.New(coherence.Msg{
 			Type: coherence.MsgPutX, Line: evTag, Src: p.coreID, Dst: p.bankOf(evTag),
 			Requestor: p.coreID,
-		})
+		}))
 	}
 }
 
@@ -671,7 +857,8 @@ func (p *Private) Warm(line uint64, state uint8) {
 func (p *Private) Tick(cycle uint64) {
 	p.now = cycle
 	for len(p.events) > 0 && p.events[0].at <= cycle {
-		e := heap.Pop(&p.events).(event)
+		e := p.events.popEvent()
+		p.work++
 		switch e.kind {
 		case evRespond:
 			p.client.MemResp(e.tag, RespInfo{Line: e.line, Latency: e.lat, Hit: true})
@@ -679,18 +866,24 @@ func (p *Private) Tick(cycle uint64) {
 			p.startMiss(e.tag, e.line, e.wr, e.at-e.lat)
 		}
 	}
-	if len(p.stalled) > 0 {
-		for line, s := range p.stalled {
-			if cycle-s.stallAt <= releaseAfter {
-				continue
-			}
-			if p.client.ForceRelease(line) {
-				p.Stats.ForcedRel.Inc()
-				delete(p.stalled, line)
-				p.serveExternal(s.msg)
-			} else {
-				s.stallAt = cycle // imminent unlock: re-arm
-			}
+	for i := 0; i < p.stalled.len(); {
+		s := &p.stalled.exts[i]
+		if cycle-s.stallAt <= releaseAfter {
+			i++
+			continue
+		}
+		line := p.stalled.lines[i]
+		if p.client.ForceRelease(line) {
+			p.Stats.ForcedRel.Inc()
+			p.work++
+			m := s.msg
+			p.stalled.removeAt(i)
+			p.serveExternal(m)
+			p.pool.Put(m)
+			// removeAt swapped the tail into slot i: revisit it.
+		} else {
+			s.stallAt = cycle // imminent unlock: re-arm
+			i++
 		}
 	}
 }
@@ -698,7 +891,7 @@ func (p *Private) Tick(cycle uint64) {
 // PendingWork reports in-flight misses, queued events or stalled
 // external requests (quiescence check).
 func (p *Private) PendingWork() bool {
-	return len(p.mshrs) > 0 || len(p.events) > 0 || len(p.stalled) > 0 || len(p.pendingFar) > 0
+	return p.mshrs.len() > 0 || len(p.events) > 0 || p.stalled.len() > 0 || len(p.pendingFar) > 0
 }
 
 // OldestMiss returns the line of the oldest outstanding demand miss or
@@ -706,7 +899,8 @@ func (p *Private) PendingWork() bool {
 // when nothing is outstanding.
 func (p *Private) OldestMiss() (line uint64, desc string, ok bool) {
 	best := ^uint64(0)
-	for l, m := range p.mshrs {
+	for i := range p.mshrs.ms {
+		l, m := p.mshrs.lines[i], &p.mshrs.ms[i]
 		if m.sentAt < best || (m.sentAt == best && l < line) {
 			best = m.sentAt
 			line = l
@@ -735,19 +929,19 @@ func (p *Private) OldestMiss() (line uint64, desc string, ok bool) {
 // HasStalledExternal reports whether an external request is stalled on
 // this line (used by tests).
 func (p *Private) HasStalledExternal(line uint64) bool {
-	_, ok := p.stalled[line]
-	return ok
+	return p.stalled.get(line) != nil
 }
 
 // DebugMSHRs describes every outstanding miss (deadlock diagnostics).
 func (p *Private) DebugMSHRs() []string {
 	var out []string
-	for line, m := range p.mshrs {
+	for i := range p.mshrs.ms {
+		line, m := p.mshrs.lines[i], &p.mshrs.ms[i]
 		out = append(out, fmt.Sprintf(
 			"cache%d mshr line=%#x write=%v dataArrived=%v grant=%d acks=%d waiters=%d sentAt=%d",
 			p.coreID, line, m.write, m.dataArrived, m.grant, m.pendingAcks, len(m.waiters), m.sentAt))
 	}
-	for line := range p.stalled {
+	for _, line := range p.stalled.lines {
 		out = append(out, fmt.Sprintf("cache%d stalledExt line=%#x", p.coreID, line))
 	}
 	for line, ws := range p.pendingFar {

@@ -21,10 +21,10 @@ type pending struct {
 	requestor int
 	isWrite   bool
 
-	// Far-RMW recall context: the original GetFar and the number of
-	// invalidation acks / the data return still expected before the
-	// bank can perform the operation.
-	far     *Msg
+	// Far-RMW recall context: whether a far RMW is in flight and the
+	// number of invalidation acks / the data return still expected
+	// before the bank can perform the operation.
+	far     bool
 	farAcks int
 	farData bool // waiting for the owner's data return
 }
@@ -68,6 +68,7 @@ type Directory struct {
 
 	lines map[uint64]*dirEntry
 
+	pool *MsgPool
 	sink *ErrorSink
 	now  uint64
 	hook func(*Msg) *Msg
@@ -95,6 +96,13 @@ func (d *Directory) NodeID() int { return d.nodeID }
 // SetErrorSink wires the system-wide protocol-error sink. Without one,
 // violations panic (fail-fast for components driven directly by tests).
 func (d *Directory) SetErrorSink(s *ErrorSink) { d.sink = s }
+
+// SetMsgPool wires the system-owned message free list. Every message
+// the bank sends is drawn from it, and every message the bank fully
+// consumes is released back; messages parked in a blocked line's
+// waiting queue are released when they are eventually served. A nil
+// pool (component tests) falls back to the allocator.
+func (d *Directory) SetMsgPool(p *MsgPool) { d.pool = p }
 
 // SetCycle stamps the bank's local clock; the system calls it before
 // handling the cycle's drained messages so errors carry the cycle.
@@ -127,7 +135,7 @@ func (d *Directory) fail(m *Msg, e *dirEntry, reason string) {
 func (e *dirEntry) describe() string {
 	return fmt.Sprintf("state=%d owner=%d sharers=%#x blocked=%v pend={req=%d write=%v far=%v acks=%d data=%v} waiting=%d",
 		e.state, e.owner, e.sharers, e.blocked,
-		e.pend.requestor, e.pend.isWrite, e.pend.far != nil, e.pend.farAcks, e.pend.farData,
+		e.pend.requestor, e.pend.isWrite, e.pend.far, e.pend.farAcks, e.pend.farData,
 		len(e.waiting))
 }
 
@@ -141,13 +149,24 @@ func (d *Directory) entry(line uint64) *dirEntry {
 }
 
 // Handle processes one incoming message. The system calls it for every
-// message drained from this bank's network inbox.
+// message drained from this bank's network inbox. A fully consumed
+// message is released to the pool here — the single consumption point
+// on the bank side; messages parked in a blocked line's waiting queue
+// are released when the queue is later served.
 func (d *Directory) Handle(m *Msg) {
 	if d.hook != nil {
 		if m = d.hook(m); m == nil {
 			return
 		}
 	}
+	if d.handle(m) {
+		d.pool.Put(m)
+	}
+}
+
+// handle dispatches one message and reports whether it was fully
+// consumed (false: retained in a blocked line's waiting queue).
+func (d *Directory) handle(m *Msg) bool {
 	switch m.Type {
 	case MsgGetS, MsgGetX:
 		e := d.entry(m.Line)
@@ -155,7 +174,7 @@ func (d *Directory) Handle(m *Msg) {
 			d.Stats.Stalled.Inc()
 			d.Stats.StallDepth.Observe(float64(len(e.waiting)))
 			e.waiting = append(e.waiting, m)
-			return
+			return false
 		}
 		d.serve(m, e)
 	case MsgPutX:
@@ -165,7 +184,7 @@ func (d *Directory) Handle(m *Msg) {
 			// writeback and drop it as stale once the transaction
 			// closes (the owner answers forwards even after evicting).
 			e.waiting = append(e.waiting, m)
-			return
+			return false
 		}
 		d.handlePutX(m, e)
 	case MsgUnblock, MsgUnblockX:
@@ -176,7 +195,7 @@ func (d *Directory) Handle(m *Msg) {
 			d.Stats.Stalled.Inc()
 			d.Stats.StallDepth.Observe(float64(len(e.waiting)))
 			e.waiting = append(e.waiting, m)
-			return
+			return false
 		}
 		d.serveGetFar(m, e)
 	case MsgInvAck:
@@ -186,6 +205,7 @@ func (d *Directory) Handle(m *Msg) {
 	default:
 		d.fail(m, d.lines[m.Line], "unexpected message type")
 	}
+	return true
 }
 
 // serve starts a transaction for a GetS/GetX on an unblocked entry.
@@ -215,10 +235,10 @@ func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
 	switch e.state {
 	case dirI:
 		// Uncontested: L3 (or DRAM) access plus the ALU operation.
-		d.net.SendAfter(&Msg{
+		d.net.SendAfter(d.pool.New(Msg{
 			Type: MsgFarDone, Line: m.Line, Src: d.nodeID, Dst: m.Requestor,
 			Requestor: m.Requestor,
-		}, d.dataDelay(m.Line)+1)
+		}), d.dataDelay(m.Line)+1)
 	case dirS:
 		acks := 0
 		for c := 0; c < 64; c++ {
@@ -227,13 +247,13 @@ func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
 			}
 			acks++
 			d.Stats.Invalidates.Inc()
-			d.net.Send(&Msg{
+			d.net.Send(d.pool.New(Msg{
 				Type: MsgInv, Line: m.Line, Src: d.nodeID, Dst: c,
 				Requestor: d.nodeID, // acks return to the bank
-			})
+			}))
 		}
 		e.blocked = true
-		e.pend = pending{requestor: m.Requestor, far: m, farAcks: acks}
+		e.pend = pending{requestor: m.Requestor, far: true, farAcks: acks}
 		if acks == 0 {
 			d.finishFar(m.Line, e)
 		}
@@ -242,18 +262,18 @@ func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
 		// locked line stalls the recall at the owner, exactly like a
 		// core-to-core forward.
 		d.Stats.Forwards.Inc()
-		d.net.Send(&Msg{
+		d.net.Send(d.pool.New(Msg{
 			Type: MsgFwdGetX, Line: m.Line, Src: d.nodeID, Dst: e.owner,
 			Requestor: d.nodeID,
-		})
+		}))
 		e.blocked = true
-		e.pend = pending{requestor: m.Requestor, far: m, farData: true}
+		e.pend = pending{requestor: m.Requestor, far: true, farData: true}
 	}
 }
 
 func (d *Directory) farAck(m *Msg) {
 	e, ok := d.lines[m.Line]
-	if !ok || !e.blocked || e.pend.far == nil {
+	if !ok || !e.blocked || !e.pend.far {
 		d.fail(m, e, "stray InvAck: no far recall in flight")
 		return
 	}
@@ -265,7 +285,7 @@ func (d *Directory) farAck(m *Msg) {
 
 func (d *Directory) farData(m *Msg) {
 	e, ok := d.lines[m.Line]
-	if !ok || !e.blocked || e.pend.far == nil || !e.pend.farData {
+	if !ok || !e.blocked || !e.pend.far || !e.pend.farData {
 		d.fail(m, e, "stray Data: no far recall awaiting owner data")
 		return
 	}
@@ -279,10 +299,10 @@ func (d *Directory) farData(m *Msg) {
 // finishFar applies the RMW at the bank and releases the line.
 func (d *Directory) finishFar(line uint64, e *dirEntry) {
 	req := e.pend.requestor
-	d.net.SendAfter(&Msg{
+	d.net.SendAfter(d.pool.New(Msg{
 		Type: MsgFarDone, Line: line, Src: d.nodeID, Dst: req,
 		Requestor: req,
-	}, d.dataDelay(line)+1)
+	}), d.dataDelay(line)+1)
 	e.state = dirI
 	e.owner = -1
 	e.sharers = 0
@@ -292,6 +312,7 @@ func (d *Directory) finishFar(line uint64, e *dirEntry) {
 		next := e.waiting[0]
 		e.waiting = e.waiting[1:]
 		d.serve(next, e)
+		d.pool.Put(next) // nothing retains a served request anymore
 	}
 }
 
@@ -312,21 +333,21 @@ func (d *Directory) serveGetS(m *Msg, e *dirEntry) {
 	switch e.state {
 	case dirI:
 		// Grant exclusive-clean: the common private-data fast path.
-		d.net.SendAfter(&Msg{
+		d.net.SendAfter(d.pool.New(Msg{
 			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
 			Requestor: req, Grant: GrantE,
-		}, d.dataDelay(m.Line))
+		}), d.dataDelay(m.Line))
 	case dirS:
-		d.net.SendAfter(&Msg{
+		d.net.SendAfter(d.pool.New(Msg{
 			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
 			Requestor: req, Grant: GrantS,
-		}, d.dataDelay(m.Line))
+		}), d.dataDelay(m.Line))
 	case dirM:
 		d.Stats.Forwards.Inc()
-		d.net.Send(&Msg{
+		d.net.Send(d.pool.New(Msg{
 			Type: MsgFwdGetS, Line: m.Line, Src: d.nodeID, Dst: e.owner,
 			Requestor: req,
-		})
+		}))
 	}
 	e.blocked = true
 	e.pend = pending{requestor: req, isWrite: false}
@@ -336,10 +357,10 @@ func (d *Directory) serveGetX(m *Msg, e *dirEntry) {
 	req := m.Requestor
 	switch e.state {
 	case dirI:
-		d.net.SendAfter(&Msg{
+		d.net.SendAfter(d.pool.New(Msg{
 			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
 			Requestor: req, Grant: GrantM,
-		}, d.dataDelay(m.Line))
+		}), d.dataDelay(m.Line))
 	case dirS:
 		acks := 0
 		for c := 0; c < 64; c++ {
@@ -348,29 +369,29 @@ func (d *Directory) serveGetX(m *Msg, e *dirEntry) {
 			}
 			acks++
 			d.Stats.Invalidates.Inc()
-			d.net.Send(&Msg{
+			d.net.Send(d.pool.New(Msg{
 				Type: MsgInv, Line: m.Line, Src: d.nodeID, Dst: c,
 				Requestor: req,
-			})
+			}))
 		}
-		d.net.SendAfter(&Msg{
+		d.net.SendAfter(d.pool.New(Msg{
 			Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
 			Requestor: req, Grant: GrantM, AckCount: acks,
-		}, d.dataDelay(m.Line))
+		}), d.dataDelay(m.Line))
 	case dirM:
 		if e.owner == req {
 			// The recorded owner re-requests: its copy was silently
 			// evicted (clean E eviction). Re-supply from the L3.
-			d.net.SendAfter(&Msg{
+			d.net.SendAfter(d.pool.New(Msg{
 				Type: MsgData, Line: m.Line, Src: d.nodeID, Dst: req,
 				Requestor: req, Grant: GrantM,
-			}, d.dataDelay(m.Line))
+			}), d.dataDelay(m.Line))
 		} else {
 			d.Stats.Forwards.Inc()
-			d.net.Send(&Msg{
+			d.net.Send(d.pool.New(Msg{
 				Type: MsgFwdGetX, Line: m.Line, Src: d.nodeID, Dst: e.owner,
 				Requestor: req,
-			})
+			}))
 		}
 	}
 	e.blocked = true
@@ -428,6 +449,7 @@ func (d *Directory) handleUnblock(m *Msg) {
 		next := e.waiting[0]
 		e.waiting = e.waiting[1:]
 		d.serve(next, e)
+		d.pool.Put(next) // nothing retains a served request anymore
 	}
 }
 
@@ -478,7 +500,7 @@ func (d *Directory) WaitingOn(line uint64) (desc string, cores []int, ok bool) {
 	case e.pend.farData:
 		return fmt.Sprintf("far recall: awaiting dirty data from owner %d", e.owner),
 			[]int{e.owner}, true
-	case e.pend.far != nil && e.pend.farAcks > 0:
+	case e.pend.far && e.pend.farAcks > 0:
 		for c := 0; c < 64; c++ {
 			if e.sharers&(1<<uint(c)) != 0 {
 				cores = append(cores, c)
@@ -504,7 +526,7 @@ func (d *Directory) DebugBlocked() []string {
 		out = append(out, fmt.Sprintf(
 			"bank%d line=%#x state=%d owner=%d blocked=%v pend={req=%d write=%v far=%v acks=%d data=%v} waiting=%d",
 			d.bank, line, e.state, e.owner, e.blocked,
-			e.pend.requestor, e.pend.isWrite, e.pend.far != nil, e.pend.farAcks, e.pend.farData,
+			e.pend.requestor, e.pend.isWrite, e.pend.far, e.pend.farAcks, e.pend.farData,
 			len(e.waiting)))
 	}
 	return out

@@ -21,6 +21,14 @@ func AblationEntries(r *Runner) *stats.Table {
 		Title:   "Ablation — RoW (RW+Dir_U/D) predictor table size, normalized to eager",
 		Headers: headers,
 	}
+	warm := []Variant{VarEager}
+	for _, n := range sizes {
+		v := VarDirUD
+		v.Name = fmt.Sprintf("RW+Dir_U/D(%de)", n)
+		v.PredEntries = n
+		warm = append(warm, v)
+	}
+	r.Warm(Cross(r.opt.Workloads, warm...))
 	sums := make([][]float64, len(sizes))
 	for _, wl := range r.opt.Workloads {
 		e := r.MustRun(wl, VarEager)
@@ -57,6 +65,11 @@ func AblationUpdate(r *Runner) *stats.Table {
 		Title:   "Ablation — predictor update rule (RW+Dir), normalized to eager",
 		Headers: headers,
 	}
+	warm := []Variant{VarEager}
+	for _, k := range kinds {
+		warm = append(warm, rowVariant("RW+Dir_"+k.String(), config.DetectRWDir, k, false))
+	}
+	r.Warm(Cross(r.opt.Workloads, warm...))
 	sums := make([][]float64, len(kinds))
 	for _, wl := range r.opt.Workloads {
 		e := r.MustRun(wl, VarEager)

@@ -12,6 +12,7 @@ import (
 // execution relative to eager, per workload. Values above 1 mean
 // eager wins (canneal side), below 1 mean lazy wins (pc side).
 func Fig1(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, VarEager, VarLazy))
 	t := &stats.Table{
 		Title:   "Fig. 1 — Normalized execution time: lazy relative to eager (>1: eager wins)",
 		Headers: []string{"workload", "eager-cycles", "lazy-cycles", "lazy/eager"},
@@ -33,6 +34,7 @@ func Fig1(r *Runner) *stats.Table {
 // eager atomic issues, and younger already-executing instructions
 // when a lazy atomic issues.
 func Fig4(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, VarEager, VarLazy))
 	t := &stats.Table{
 		Title:   "Fig. 4 — Independent instructions around atomics",
 		Headers: []string{"workload", "older-unexecuted@eager", "younger-started@lazy"},
@@ -62,6 +64,7 @@ func Fig5(r *Runner) *stats.Table {
 	eagerDir := VarEager
 	eagerDir.Name = "eager-detect-RW+Dir"
 	eagerDir.Detection = config.DetectRWDir
+	r.Warm(Cross(r.opt.Workloads, eagerDir))
 	for _, wl := range r.opt.Workloads {
 		e := r.MustRun(wl, eagerDir)
 		t.AddRow(wl, stats.F1(e.AtomicsPer10K), stats.Pct(e.ContendedFrac))
@@ -72,6 +75,7 @@ func Fig5(r *Runner) *stats.Table {
 // Fig6 reproduces Figure 6: the atomic latency breakdown — dispatch
 // to issue, issue to lock, lock to unlock — under eager and lazy.
 func Fig6(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, VarEager, VarLazy))
 	t := &stats.Table{
 		Title:   "Fig. 6 — Atomic latency breakdown (cycles): eager vs lazy",
 		Headers: []string{"workload", "E:disp->issue", "E:issue->lock", "E:lock->unlock", "L:disp->issue", "L:issue->lock", "L:lock->unlock"},
@@ -93,6 +97,7 @@ var Fig9Variants = []Variant{VarLazy, VarEWUD, VarEWSat, VarRWUD, VarRWSat, VarD
 // variants (EW/RW/RW+Dir × UpDown/Saturate) against the eager and
 // lazy baselines, forwarding disabled.
 func Fig9(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, append([]Variant{VarEager}, Fig9Variants...)...))
 	headers := []string{"workload", "eager"}
 	for _, v := range Fig9Variants {
 		headers = append(headers, v.Name)
@@ -128,6 +133,14 @@ var Fig10Thresholds = []int{0, 100, 400, 1000, 2000, -2}
 // Fig10 reproduces Figure 10: sensitivity of RoW (RW+Dir, UpDown) to
 // the fill-latency threshold of the directory detector.
 func Fig10(r *Runner) *stats.Table {
+	warm := []Variant{VarEager}
+	for _, th := range Fig10Thresholds {
+		v := VarDirUD
+		v.Name = fmt.Sprintf("RW+Dir_U/D(th=%d)", th)
+		v.Threshold = th
+		warm = append(warm, v)
+	}
+	r.Warm(Cross(r.opt.Workloads, warm...))
 	headers := []string{"workload"}
 	for _, th := range Fig10Thresholds {
 		if th == -2 {
@@ -166,6 +179,7 @@ func Fig10(r *Runner) *stats.Table {
 // Fig11 reproduces Figure 11: average L1D miss latency under eager,
 // lazy and RoW with either predictor (RW+Dir).
 func Fig11(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, VarEager, VarLazy, VarDirUD, VarDirSat))
 	t := &stats.Table{
 		Title:   "Fig. 11 — L1D miss latency (cycles)",
 		Headers: []string{"workload", "eager", "lazy", "RoW_U/D", "RoW_Sat"},
@@ -183,6 +197,7 @@ func Fig11(r *Runner) *stats.Table {
 // Fig12 reproduces Figure 12: contention-prediction accuracy of the
 // UpDown and Saturate predictors (RW+Dir detection).
 func Fig12(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, VarDirUD, VarDirSat))
 	t := &stats.Table{
 		Title:   "Fig. 12 — Contention predictor accuracy",
 		Headers: []string{"workload", "U/D", "Sat"},
@@ -206,6 +221,7 @@ var Fig13Variants = []Variant{VarLazy, VarEagerFwd, VarDirUD, VarDirSat, VarDirU
 // the atomic-locality override that flips predicted-contended atomics
 // back to eager when a matching store is in the SB.
 func Fig13(r *Runner) *stats.Table {
+	r.Warm(Cross(r.opt.Workloads, append([]Variant{VarEager}, Fig13Variants...)...))
 	headers := []string{"workload", "eager"}
 	for _, v := range Fig13Variants {
 		headers = append(headers, v.Name)
@@ -245,6 +261,8 @@ func Summary(r *Runner) *stats.Table {
 		Title:   "Section VI summary — RoW with forwarding vs baselines",
 		Headers: []string{"set", "variant", "vs-eager", "vs-lazy", "best-case"},
 	}
+	allWls := append(append([]string{}, r.opt.Workloads...), workload.Fillers...)
+	r.Warm(Cross(allWls, VarEager, VarLazy, VarDirUDFwd, VarDirSatFwd))
 	eval := func(wls []string, v Variant) (vsEager, vsLazy, best float64) {
 		var re, rl []float64
 		best = 1

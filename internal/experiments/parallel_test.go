@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rowsim/internal/lifecycle"
+	"rowsim/internal/sim"
+)
+
+// TestForEachCoversAllIndicesBounded checks the worker pool's two
+// contracts: every index in [0,n) is visited exactly once, and no more
+// than jobs workers run concurrently.
+func TestForEachCoversAllIndicesBounded(t *testing.T) {
+	const n, jobs = 97, 4
+	var mu sync.Mutex
+	seen := make(map[int]int)
+	var inFlight, maxInFlight int64
+	ForEach(jobs, n, func(i int) {
+		cur := atomic.AddInt64(&inFlight, 1)
+		for {
+			prev := atomic.LoadInt64(&maxInFlight)
+			if cur <= prev || atomic.CompareAndSwapInt64(&maxInFlight, prev, cur) {
+				break
+			}
+		}
+		mu.Lock()
+		seen[i]++
+		mu.Unlock()
+		atomic.AddInt64(&inFlight, -1)
+	})
+	if len(seen) != n {
+		t.Fatalf("visited %d distinct indices, want %d", len(seen), n)
+	}
+	for i, c := range seen {
+		if c != 1 {
+			t.Fatalf("index %d visited %d times", i, c)
+		}
+	}
+	if maxInFlight > jobs {
+		t.Fatalf("observed %d concurrent calls, limit %d", maxInFlight, jobs)
+	}
+}
+
+func parallelTestOptions() Options {
+	return Options{Cores: 4, Instrs: 1200, Seed: 1, Workloads: []string{"sps", "canneal"}}
+}
+
+// TestFigureOutputIdenticalForAnyJobs is the tentpole determinism
+// guarantee: the rendered figure tables must be byte-identical whether
+// the underlying runs execute sequentially or fanned across a worker
+// pool. The parallel phase only warms the memo; the table pass always
+// reads it back in sweep order.
+func TestFigureOutputIdenticalForAnyJobs(t *testing.T) {
+	figures := []struct {
+		name string
+		run  func(r *Runner) fmt.Stringer
+	}{
+		{"Fig1", func(r *Runner) fmt.Stringer { return Fig1(r) }},
+		{"Fig9", func(r *Runner) fmt.Stringer { return Fig9(r) }},
+		{"Fig11", func(r *Runner) fmt.Stringer { return Fig11(r) }},
+	}
+	jobCounts := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, fig := range figures {
+		var want string
+		for i, jobs := range jobCounts {
+			r := NewRunner(parallelTestOptions())
+			r.SetJobs(jobs)
+			got := fig.run(r).String()
+			if i == 0 {
+				want = got
+				continue
+			}
+			if got != want {
+				t.Fatalf("%s with jobs=%d differs from jobs=%d output:\n%s\n--- vs ---\n%s",
+					fig.name, jobs, jobCounts[0], got, want)
+			}
+		}
+	}
+}
+
+// TestWarmFailureDeferredToSequentialPass: a failing cell must not
+// crash the parallel warm phase; the sequential pass reports it with
+// the exact error a jobs=1 run would produce.
+func TestWarmFailureDeferredToSequentialPass(t *testing.T) {
+	r := NewRunner(parallelTestOptions())
+	r.SetJobs(4)
+	// An unknown workload fails every run of its cell; the warm phase
+	// must swallow that and leave the good cells warmed.
+	r.Warm(Cross([]string{"sps", "no-such-workload"}, VarEager, VarLazy))
+	if _, err := r.Run("sps", VarEager); err != nil {
+		t.Fatalf("good cell failed after warm: %v", err)
+	}
+	_, errPar := r.Run("no-such-workload", VarEager)
+	if errPar == nil {
+		t.Fatal("bad cell unexpectedly succeeded")
+	}
+	seq := NewRunner(parallelTestOptions())
+	_, errSeq := seq.Run("no-such-workload", VarEager)
+	if errSeq == nil || errPar.Error() != errSeq.Error() {
+		t.Fatalf("parallel-warm error diverges from sequential error:\npar: %v\nseq: %v", errPar, errSeq)
+	}
+}
+
+// TestParallelSweepKillResume runs the supervised-sweep recovery story
+// under a 4-worker pool: a journaled parallel sweep is "killed" (the
+// journal torn mid-record, as SIGKILL leaves it), and the resumed
+// parallel sweep must execute exactly the specs the journal does not
+// show complete, with a final aggregate identical to an uninterrupted
+// run. Journal records land in completion order — resume must not care.
+func TestParallelSweepKillResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "sweep.jsonl")
+	const nspecs = 12
+	specs := make([]string, nspecs)
+	for i := range specs {
+		specs[i] = fmt.Sprintf("spec-%02d", i)
+	}
+	runSpec := func(key string) sim.Result {
+		return sim.Result{Cycles: uint64(1000 + len(key)*7 + int(key[len(key)-1])), Committed: uint64(len(key))}
+	}
+
+	// Phase 1: a 4-worker sweep of the first 8 specs, then tear the
+	// journal inside the last appended record.
+	j, err := lifecycle.Create(path, lifecycle.Record{Tool: "par-sweep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sup := lifecycle.New(lifecycle.Config{Journal: j})
+	ForEach(4, 8, func(i int) {
+		key := specs[i]
+		out := sup.Do(context.Background(), lifecycle.Job{Key: key, Seed: 1}, func(context.Context) (sim.Result, error) {
+			return runSpec(key), nil
+		})
+		if out.Status != lifecycle.StatusOK {
+			t.Errorf("setup run %s: %+v", key, out)
+		}
+	})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Truncate(path, info.Size()-20); err != nil { // cut into the last record
+		t.Fatal(err)
+	}
+
+	// Phase 2: resume with 4 workers. The torn record's spec plus the
+	// four never-run specs must execute; everything else must come from
+	// the journal.
+	j2, snap, err := lifecycle.Resume(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	completedBefore := 0
+	var missing []string
+	for _, key := range specs {
+		if _, ok := snap.Completed(key); ok {
+			completedBefore++
+		} else {
+			missing = append(missing, key)
+		}
+	}
+	if completedBefore != 7 {
+		t.Fatalf("journal shows %d complete specs after tear, want 7", completedBefore)
+	}
+	sup2 := lifecycle.New(lifecycle.Config{Journal: j2})
+	var mu sync.Mutex
+	var executed []string
+	final := make(map[string]sim.Result)
+	for _, key := range specs {
+		if rec, ok := snap.Completed(key); ok {
+			final[key] = *rec.Result
+		}
+	}
+	ForEach(4, len(missing), func(i int) {
+		key := missing[i]
+		out := sup2.Do(context.Background(), lifecycle.Job{Key: key, Seed: 1}, func(context.Context) (sim.Result, error) {
+			mu.Lock()
+			executed = append(executed, key)
+			mu.Unlock()
+			return runSpec(key), nil
+		})
+		if out.Status != lifecycle.StatusOK {
+			t.Errorf("resumed run %s: %+v", key, out)
+		}
+		mu.Lock()
+		final[key] = out.Result
+		mu.Unlock()
+	})
+	if err := j2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	sort.Strings(executed)
+	if fmt.Sprint(executed) != fmt.Sprint(missing) {
+		t.Fatalf("resume executed %v, want exactly the missing specs %v", executed, missing)
+	}
+	for _, key := range specs {
+		if final[key] != runSpec(key) {
+			t.Fatalf("resumed aggregate diverges at %s: %+v", key, final[key])
+		}
+	}
+}

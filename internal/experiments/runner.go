@@ -137,8 +137,12 @@ type Runner struct {
 	opt   Options
 	ctx   context.Context       // base context for Run/MustRun (nil = Background)
 	super *lifecycle.Supervisor // optional supervision of every run
+	jobs  int                   // Warm worker count (see SetJobs; <1 = sequential)
 	mu    sync.Mutex
 	cache map[string]sim.Result
+	// cycles accumulates the simulated cycles of every non-memoized
+	// run (the benchmark gate's throughput denominator).
+	cycles uint64
 	// Progress, when set, receives a line per completed run. It must
 	// itself be safe for concurrent use when the runner is shared.
 	Progress func(msg string)
@@ -215,6 +219,7 @@ func (r *Runner) RunCtx(ctx context.Context, wl string, v Variant) (sim.Result, 
 	}
 	r.mu.Lock()
 	r.cache[key] = res
+	r.cycles += res.Cycles
 	r.mu.Unlock()
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf("ran %-14s %-16s %12d cycles", wl, v.Name, res.Cycles))
@@ -265,6 +270,15 @@ func (r *Runner) MustRunPrograms(cfg *config.Config, progs []trace.Program) sim.
 		panic(err)
 	}
 	return res
+}
+
+// SimulatedCycles returns the total simulated cycles executed by this
+// runner's completed (non-memoized) runs — the throughput denominator
+// the benchmark-regression gate reports against wall time.
+func (r *Runner) SimulatedCycles() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.cycles
 }
 
 // Norm returns v normalized to base (the paper normalizes execution

@@ -21,6 +21,15 @@ func Scaling(r *Runner, workloads []string) *stats.Table {
 		Title:   "Scaling — normalized execution time vs eager, by core count",
 		Headers: []string{"workload", "cores", "lazy/eager", "RoW(Sat)/eager", "RoW(Sat+Fwd)/eager"},
 	}
+	// Each (workload, coreCount) cell has its own memoizing sub-runner;
+	// the parallel phase warms all cells at once and the sequential
+	// table pass below reads the memos back in deterministic order.
+	type cell struct {
+		wl  string
+		n   int
+		sub *Runner
+	}
+	var cells []cell
 	for _, wl := range workloads {
 		for _, n := range coreCounts {
 			sub := NewRunner(Options{
@@ -30,6 +39,21 @@ func Scaling(r *Runner, workloads []string) *stats.Table {
 				Workloads: []string{wl},
 			})
 			sub.Progress = r.Progress
+			cells = append(cells, cell{wl: wl, n: n, sub: sub})
+		}
+	}
+	ForEach(r.Jobs(), len(cells), func(i int) {
+		defer func() { _ = recover() }()
+		c := cells[i]
+		for _, v := range []Variant{VarEager, VarLazy, VarDirSat, VarDirSatFwd} {
+			if _, err := c.sub.Run(c.wl, v); err != nil {
+				return
+			}
+		}
+	})
+	for _, c := range cells {
+		wl, n, sub := c.wl, c.n, c.sub
+		{
 			e := sub.MustRun(wl, VarEager)
 			l := sub.MustRun(wl, VarLazy)
 			s := sub.MustRun(wl, VarDirSat)
@@ -51,6 +75,7 @@ func Scaling(r *Runner, workloads []string) *stats.Table {
 // when-question and Dynamo/CLAU's where-question are complementary.
 func FarVsNear(r *Runner) *stats.Table {
 	far := Variant{Name: "Far", Policy: config.PolicyFar, Threshold: -1}
+	r.Warm(Cross(r.opt.Workloads, VarEager, VarLazy, VarDirSatFwd, far))
 	t := &stats.Table{
 		Title:   "Far vs near — normalized execution time vs eager (near)",
 		Headers: []string{"workload", "eager", "lazy", "RoW(Sat+Fwd)", "far"},
@@ -78,6 +103,7 @@ func FarVsNear(r *Runner) *stats.Table {
 // no line migration at all).
 func LockStudy(r *Runner) *stats.Table {
 	far := Variant{Name: "Far", Policy: config.PolicyFar, Threshold: -1}
+	r.Warm(Cross(workload.SyncKernels, VarEager, VarLazy, VarDirSat, VarDirSatFwd, far))
 	t := &stats.Table{
 		Title:   "Lock study — synchronization kernels, normalized to eager",
 		Headers: []string{"kernel", "eager-cycles", "lazy", "RoW(Sat)", "RoW(Sat+Fwd)", "far"},

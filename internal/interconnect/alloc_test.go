@@ -1,0 +1,68 @@
+package interconnect
+
+import (
+	"testing"
+
+	"rowsim/internal/coherence"
+)
+
+// TestMeshSendDrainSteadyStateAllocsZero enforces the allocation-free
+// hot path: once the event heap, inboxes, trace ring and message pool
+// have grown to steady state, a full send -> Tick -> Drain -> release
+// round trip must not allocate at all. This is the contract that keeps
+// GC time out of the simulator's per-cycle loop; if this test starts
+// failing, something on the hot path regressed to heap allocation.
+func TestMeshSendDrainSteadyStateAllocsZero(t *testing.T) {
+	m := NewMesh(16, 1, 2, 4)
+	pool := &coherence.MsgPool{}
+	m.SetMsgPool(pool)
+	cyc := uint64(0)
+	round := func() {
+		cyc += 8 // larger than any latency in this mesh: all events arrive
+		m.Tick(cyc)
+		for n := 0; n < 16; n++ {
+			for _, d := range m.Drain(n) {
+				pool.Put(d)
+			}
+		}
+		m.Send(pool.New(coherence.Msg{Type: coherence.MsgGetS, Src: 0, Dst: 5, Line: 0x40}))
+		m.Send(pool.New(coherence.Msg{Type: coherence.MsgData, Src: 5, Dst: 0, Line: 0x40}))
+	}
+	for i := 0; i < 512; i++ {
+		round() // grow every structure to steady state
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Fatalf("steady-state mesh round trip allocates %v allocs/op, want 0", avg)
+	}
+}
+
+// TestCacheDirectorySteadyStateAllocsZero runs the same check one
+// level up: a directory GetX/UnblockX transaction with pooled messages
+// must be allocation-free in steady state.
+func TestCacheDirectorySteadyStateAllocsZero(t *testing.T) {
+	pool := &coherence.MsgPool{}
+	m := NewMesh(33, 1, 2, 4)
+	m.SetMsgPool(pool)
+	d := coherence.NewDirectory(32, 0, m, 4<<20, 16, 64, 35, 160)
+	d.SetMsgPool(pool)
+	cyc := uint64(0)
+	round := func() {
+		cyc += 512 // beyond DRAM latency: every reply arrives
+		m.Tick(cyc)
+		for n := 0; n < 33; n++ {
+			for _, msg := range m.Drain(n) {
+				pool.Put(msg) // stand-in for the requesting cache
+			}
+		}
+		d.SetCycle(cyc)
+		line := uint64(cyc%4096) * 64
+		d.Handle(pool.New(coherence.Msg{Type: coherence.MsgGetX, Line: line, Src: 0, Dst: 32, Requestor: 0}))
+		d.Handle(pool.New(coherence.Msg{Type: coherence.MsgUnblockX, Line: line, Src: 0, Dst: 32, Requestor: 0}))
+	}
+	for i := 0; i < 8192; i++ {
+		round() // touch every line slot so the directory map stops growing
+	}
+	if avg := testing.AllocsPerRun(200, round); avg != 0 {
+		t.Fatalf("steady-state directory transaction allocates %v allocs/op, want 0", avg)
+	}
+}

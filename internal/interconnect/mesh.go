@@ -5,7 +5,6 @@
 package interconnect
 
 import (
-	"container/heap"
 	"fmt"
 
 	"rowsim/internal/coherence"
@@ -18,23 +17,60 @@ type event struct {
 	msg *coherence.Msg
 }
 
+// eventHeap is a typed binary min-heap ordered by (at, seq). It is
+// hand-rolled instead of container/heap because the interface-based
+// Push/Pop box every event through the heap (one allocation per send
+// on the simulator's hottest path); the typed version keeps events in
+// place. seq is unique, so pop order is a total order independent of
+// the heap's internal layout.
 type eventHeap []event
 
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
+func (h eventHeap) less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
 	return h[i].seq < h[j].seq
 }
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	*h = old[:n-1]
-	return e
+
+func (h *eventHeap) push(e event) {
+	*h = append(*h, e)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *eventHeap) pop() event {
+	s := *h
+	top := s[0]
+	n := len(s) - 1
+	s[0] = s[n]
+	s[n] = event{} // drop the msg reference for the GC
+	s = s[:n]
+	*h = s
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && s.less(l, min) {
+			min = l
+		}
+		if r < n && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+	return top
 }
 
 // Perturber mutates message delivery for fault injection. The mesh
@@ -71,6 +107,8 @@ type Mesh struct {
 	events eventHeap
 
 	inboxes [][]*coherence.Msg
+
+	pool *coherence.MsgPool
 
 	perturb Perturber
 	// lastAt preserves per-(src,dst) FIFO delivery under fault
@@ -118,6 +156,11 @@ func NewMesh(nodes, linkCycles, routerCycles, baseCycles int) *Mesh {
 // Nodes returns the number of attached nodes.
 func (m *Mesh) Nodes() int { return m.nodes }
 
+// SetMsgPool installs the message free list used for fault-injected
+// duplicate copies. The pool is shared with the protocol endpoints by
+// the system; a nil pool (component tests) falls back to the allocator.
+func (m *Mesh) SetMsgPool(p *coherence.MsgPool) { m.pool = p }
+
 // SetPerturber installs a fault injector on the send path. Must be set
 // before the first message is sent.
 func (m *Mesh) SetPerturber(p Perturber) {
@@ -164,6 +207,7 @@ func (m *Mesh) SendAfter(msg *coherence.Msg, extra uint64) {
 			Op:        msg.String(),
 			Reason:    fmt.Sprintf("message addressed to unknown node %d (have %d)", msg.Dst, m.nodes),
 		})
+		m.pool.Put(msg)
 		return
 	}
 	if m.perturb == nil {
@@ -174,6 +218,7 @@ func (m *Mesh) SendAfter(msg *coherence.Msg, extra uint64) {
 	if len(delays) == 0 {
 		m.dropped++
 		m.record(msg, 0) // a dropped message still shows in the trace
+		m.pool.Put(msg)
 		return
 	}
 	for i, d := range delays {
@@ -184,8 +229,9 @@ func (m *Mesh) SendAfter(msg *coherence.Msg, extra uint64) {
 		// Duplicate deliveries get their own Msg: handlers may retain
 		// the pointer (stall queues), so copies must not alias.
 		m.dupes++
-		cp := *msg
-		m.enqueue(&cp, extra, d)
+		cp := m.pool.Get()
+		*cp = *msg
+		m.enqueue(cp, extra, d)
 	}
 }
 
@@ -204,7 +250,7 @@ func (m *Mesh) enqueue(msg *coherence.Msg, extra, faultDelay uint64) {
 		m.lastAt[ch] = at
 	}
 	m.seq++
-	heap.Push(&m.events, event{at: at, seq: m.seq, msg: msg})
+	m.events.push(event{at: at, seq: m.seq, msg: msg})
 	m.messages++
 	m.hopsSum += uint64(m.Hops(msg.Src, msg.Dst))
 	m.record(msg, at)
@@ -258,19 +304,31 @@ func (m *Mesh) Duplicated() uint64 { return m.dupes }
 func (m *Mesh) Tick(cycle uint64) {
 	m.now = cycle
 	for len(m.events) > 0 && m.events[0].at <= cycle {
-		e := heap.Pop(&m.events).(event)
+		e := m.events.pop()
 		m.inboxes[e.msg.Dst] = append(m.inboxes[e.msg.Dst], e.msg)
 	}
 }
 
-// Drain returns and clears the inbox of a node. Callers own the
-// returned slice.
+// HasMail reports whether the node's inbox holds undelivered messages.
+// The system's cycle loop uses it to skip Drain-and-handle entirely for
+// idle nodes.
+func (m *Mesh) HasMail(node int) bool { return len(m.inboxes[node]) > 0 }
+
+// Drain returns the node's pending messages and empties the inbox.
+// Contract: it returns nil exactly when the inbox is empty (HasMail is
+// the cheap precheck); a non-nil result always holds at least one
+// message. The returned slice is the node's reused drain buffer — it is
+// valid only until the next Tick, which may append into the same
+// backing array. Callers consume it immediately (the system handles
+// every drained message within the same cycle) and must not retain the
+// slice itself; retaining individual *Msg pointers is fine, subject to
+// the MsgPool ownership discipline.
 func (m *Mesh) Drain(node int) []*coherence.Msg {
 	in := m.inboxes[node]
 	if len(in) == 0 {
 		return nil
 	}
-	m.inboxes[node] = nil
+	m.inboxes[node] = in[:0]
 	return in
 }
 

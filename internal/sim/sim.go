@@ -29,10 +29,12 @@ type System struct {
 
 	sink     *coherence.ErrorSink
 	injector *faults.Injector
+	pool     *coherence.MsgPool
 
 	warmFilter func(core int, line uint64) bool
 	checkEvery uint64
 	watchdog   uint64
+	crossCheck bool
 
 	cycle uint64
 }
@@ -61,6 +63,17 @@ func WithFaults(cfg faults.Config) Option {
 		s.injector = faults.New(cfg)
 		s.mesh.SetPerturber(s.injector)
 	}
+}
+
+// WithCrossCheck verifies the cycle loop's idle-skip decisions: every
+// component the loop would skip is run anyway and asserted to be a
+// no-op (empty drain for banks, unchanged work counter for caches).
+// A violated skip panics — it means the skip conditions are wrong and
+// results could silently diverge from the always-tick loop. Enabled in
+// tests and the torture harness; too slow for real runs (it defeats
+// the skipping it checks).
+func WithCrossCheck() Option {
+	return func(s *System) { s.crossCheck = true }
 }
 
 // WithWatchdogWindow overrides the no-progress watchdog horizon
@@ -93,7 +106,13 @@ func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, er
 	}
 
 	s := &System{cfg: cfg, mesh: mesh, bankOf: bankOf, sink: &coherence.ErrorSink{}, watchdog: watchdogWindow}
+	// One message free list per system, shared by every protocol agent
+	// and the mesh: the system is single-threaded, so the pool needs no
+	// locking, and per-system ownership means concurrent systems can
+	// never leak messages (or state) into each other.
+	s.pool = &coherence.MsgPool{}
 	mesh.SetErrorSink(s.sink)
+	mesh.SetMsgPool(s.pool)
 	for b := 0; b < banks; b++ {
 		d := coherence.NewDirectory(
 			n+b, b, mesh,
@@ -101,6 +120,7 @@ func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, er
 			cfg.Mem.L3.HitCycles, cfg.Mem.DRAMCycles,
 		)
 		d.SetErrorSink(s.sink)
+		d.SetMsgPool(s.pool)
 		s.dirs = append(s.dirs, d)
 	}
 	for i := 0; i < n; i++ {
@@ -113,6 +133,7 @@ func New(cfg *config.Config, progs []trace.Program, opts ...Option) (*System, er
 		c.AttachMemory(pc)
 		c.SetErrorSink(s.sink)
 		pc.SetErrorSink(s.sink)
+		pc.SetMsgPool(s.pool)
 		s.cores = append(s.cores, c)
 		s.caches = append(s.caches, pc)
 	}
@@ -221,36 +242,74 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 	if watchdog < 1024 {
 		watchdog = 1024
 	}
-	for {
-		done := true
-		for _, c := range s.cores {
-			if !c.Done() {
-				done = false
-				break
-			}
+	// active holds the cores still running their programs, in core-index
+	// order. Compacting it as cores finish replaces the per-cycle
+	// all-core doneness rescan: the loop exits when the list empties.
+	// Ticking a done core is a no-op (it returns immediately), so
+	// dropping finished cores cannot change behaviour, only cost.
+	active := make([]*core.Core, 0, len(s.cores))
+	for _, c := range s.cores {
+		if !c.Done() {
+			active = append(active, c)
 		}
-		if done {
-			break
-		}
+	}
+	for len(active) > 0 {
 		s.cycle++
 		cyc := s.cycle
 		s.mesh.Tick(cyc)
 		for i, d := range s.dirs {
+			node := s.cfg.NumCores + i
+			if !s.mesh.HasMail(node) {
+				// Banks are purely message-driven: no mail means no
+				// work, and the bank clock only matters while handling.
+				if s.crossCheck && s.mesh.Drain(node) != nil {
+					panic(fmt.Sprintf("sim: cross-check: bank %d skipped with mail at cycle %d", i, cyc))
+				}
+				continue
+			}
 			d.SetCycle(cyc)
-			msgs := s.mesh.Drain(s.cfg.NumCores + i)
-			for _, m := range msgs {
+			for _, m := range s.mesh.Drain(node) {
 				d.Handle(m)
 			}
 		}
 		for i, pc := range s.caches {
-			if msgs := s.mesh.Drain(i); msgs != nil {
-				pc.Deliver(msgs)
+			// Drain contract: nil exactly when the inbox is empty, so
+			// HasMail is the cheap precheck and Deliver never sees an
+			// empty batch.
+			if s.mesh.HasMail(i) {
+				pc.Deliver(s.mesh.Drain(i))
+				pc.Tick(cyc)
+				continue
 			}
-			pc.Tick(cyc)
+			if pc.NeedsTick() {
+				pc.Tick(cyc)
+				continue
+			}
+			if s.crossCheck {
+				// Replay the skipped Tick and require it observably
+				// idle. (Tick also advances the clock, which is what
+				// SetNow does on the skip path.)
+				work := pc.WorkDone()
+				pc.Tick(cyc)
+				if pc.WorkDone() != work {
+					panic(fmt.Sprintf("sim: cross-check: cache %d skipped with pending work at cycle %d", i, cyc))
+				}
+				continue
+			}
+			// The clock still advances: the core may issue accesses
+			// this cycle, and their completion events are scheduled
+			// relative to the controller's now.
+			pc.SetNow(cyc)
 		}
-		for _, c := range s.cores {
+		n := 0
+		for _, c := range active {
 			c.Tick(cyc)
+			if !c.Done() {
+				active[n] = c
+				n++
+			}
 		}
+		active = active[:n]
 
 		if pe := s.sink.Err(); pe != nil {
 			pe.Trace = s.mesh.RecentTrace(pe.Line, 32)

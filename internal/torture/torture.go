@@ -200,7 +200,9 @@ func ExecuteCtx(ctx context.Context, spec RunSpec) (sim.Result, error) {
 	if spec.MaxCycles > 0 {
 		cfg.MaxCycles = spec.MaxCycles
 	}
-	opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(p))}
+	// Torture runs double as the idle-skip cross-checker: every skip
+	// decision the cycle loop makes is replayed and asserted a no-op.
+	opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(p)), sim.WithCrossCheck()}
 	if spec.CheckEvery > 0 {
 		opts = append(opts, sim.WithInvariantChecks(spec.CheckEvery))
 	}
