@@ -1,0 +1,204 @@
+// Command rowlint runs the simulator-aware static analyzers from
+// internal/lint over the repository:
+//
+//	go run ./cmd/rowlint ./...
+//
+// It exits non-zero when any active finding remains. Suppressed
+// findings (//rowlint:ignore <analyzer> <reason>) are counted in the
+// summary and listed with -v. The pass is stdlib-only: it loads and
+// type-checks packages with go/parser + go/types, so it needs no
+// network and no tools beyond the Go distribution.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rowsim/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("rowlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	verbose := fs.Bool("v", false, "also list suppressed findings")
+	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	analyzers, err := selectAnalyzers(*only)
+	if err != nil {
+		fmt.Fprintln(stderr, "rowlint:", err)
+		return 2
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "rowlint:", err)
+		return 2
+	}
+	modRoot, modPath, err := lint.FindModule(cwd)
+	if err != nil {
+		fmt.Fprintln(stderr, "rowlint:", err)
+		return 2
+	}
+
+	dirs, err := expandPatterns(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(stderr, "rowlint:", err)
+		return 2
+	}
+	if len(dirs) == 0 {
+		fmt.Fprintln(stderr, "rowlint: no packages match", strings.Join(patterns, " "))
+		return 2
+	}
+
+	loader := lint.NewLoader(modRoot, modPath)
+	var findings []lint.Finding
+	packages := 0
+	for _, dir := range dirs {
+		pkg, err := loader.Load(dir)
+		if err != nil {
+			fmt.Fprintf(stderr, "rowlint: %s: %v\n", dir, err)
+			return 2
+		}
+		if pkg == nil {
+			continue // no buildable non-test Go files
+		}
+		packages++
+		findings = append(findings, lint.Run(pkg, analyzers)...)
+	}
+
+	active, suppressed := 0, 0
+	for _, f := range findings {
+		if f.Suppressed {
+			suppressed++
+			if *verbose {
+				fmt.Fprintln(stdout, rel(cwd, f))
+			}
+			continue
+		}
+		active++
+		fmt.Fprintln(stdout, rel(cwd, f))
+	}
+	fmt.Fprintf(stdout, "rowlint: %d finding(s), %d suppressed, %d package(s)\n",
+		active, suppressed, packages)
+	if active > 0 {
+		return 1
+	}
+	return 0
+}
+
+// selectAnalyzers resolves the -analyzers flag against the registry.
+func selectAnalyzers(only string) ([]*lint.Analyzer, error) {
+	all := lint.Analyzers()
+	if only == "" {
+		return all, nil
+	}
+	byName := make(map[string]*lint.Analyzer, len(all))
+	for _, a := range all {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	for _, name := range strings.Split(only, ",") {
+		name = strings.TrimSpace(name)
+		a, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown analyzer %q", name)
+		}
+		picked = append(picked, a)
+	}
+	return picked, nil
+}
+
+// expandPatterns turns package patterns (".", "./...", "./internal/sim")
+// into a sorted list of directories containing non-test Go files.
+// testdata, vendor, hidden and underscore-prefixed directories are
+// skipped, matching the go tool's matching rules.
+func expandPatterns(cwd string, patterns []string) ([]string, error) {
+	seen := make(map[string]bool)
+	var dirs []string
+	add := func(dir string) error {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return err
+		}
+		if !seen[abs] && hasGoFiles(abs) {
+			seen[abs] = true
+			dirs = append(dirs, abs)
+		}
+		return nil
+	}
+	for _, pat := range patterns {
+		if !strings.HasSuffix(pat, "/...") {
+			if err := add(filepath.Join(cwd, pat)); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		root := filepath.Join(cwd, strings.TrimSuffix(pat, "/..."))
+		err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+			if err != nil {
+				return err
+			}
+			if !d.IsDir() {
+				return nil
+			}
+			name := d.Name()
+			if path != root && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+				name == "testdata" || name == "vendor") {
+				return filepath.SkipDir
+			}
+			return add(path)
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.Strings(dirs)
+	return dirs, nil
+}
+
+// hasGoFiles reports whether the directory holds at least one
+// buildable non-test Go file.
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		if strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// rel renders a finding with the file path relative to the working
+// directory when possible.
+func rel(cwd string, f lint.Finding) string {
+	s := f.String()
+	if r, err := filepath.Rel(cwd, f.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+		f.Pos.Filename = r
+		s = f.String()
+	}
+	return s
+}

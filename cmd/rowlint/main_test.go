@@ -1,0 +1,56 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestRunSummaryCountsSuppressions drives the CLI over the suppression
+// fixture package: active findings (including the malformed-directive
+// ones) force exit 1, and the summary line counts the suppressions
+// separately — a silent suppression would show up here as a wrong
+// count.
+func TestRunSummaryCountsSuppressions(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"../../internal/lint/testdata/src/suppress/sim"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 (fixture has active findings); stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "rowlint: 6 finding(s), 1 suppressed, 1 package(s)") {
+		t.Errorf("summary line missing or wrong in output:\n%s", got)
+	}
+	if !strings.Contains(got, "missing the mandatory reason") {
+		t.Errorf("malformed directive (missing reason) not reported:\n%s", got)
+	}
+	if !strings.Contains(got, "unknown analyzer mapsort") {
+		t.Errorf("malformed directive (unknown analyzer) not reported:\n%s", got)
+	}
+	if strings.Contains(got, "order-independent") {
+		t.Errorf("suppressed finding printed without -v:\n%s", got)
+	}
+}
+
+// TestRunVerboseListsSuppressed: -v prints suppressed findings with
+// their recorded reasons.
+func TestRunVerboseListsSuppressed(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-v", "../../internal/lint/testdata/src/suppress/sim"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "(suppressed: boolean OR is order-independent)") {
+		t.Errorf("-v did not list the suppressed finding with its reason:\n%s", out.String())
+	}
+}
+
+// TestRunRejectsUnknownAnalyzer: the -analyzers flag validates names.
+func TestRunRejectsUnknownAnalyzer(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-analyzers", "nope", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown analyzer", code)
+	}
+	if !strings.Contains(errOut.String(), `unknown analyzer "nope"`) {
+		t.Errorf("missing error text: %s", errOut.String())
+	}
+}

@@ -8,6 +8,7 @@ package cache
 
 import (
 	"fmt"
+	"sort"
 
 	"rowsim/internal/coherence"
 	"rowsim/internal/config"
@@ -751,12 +752,15 @@ func (p *Private) putWaiters(w []waiter) {
 // line is locked by the core's atomic queue.
 // handleExternal reports whether the message was consumed (false: it
 // is retained in the stalled table until the lock releases).
+//
+//rowlint:noalloc
 func (p *Private) handleExternal(m *coherence.Msg, write bool) bool {
 	if stall := p.client.ExternalRequest(m.Line, write); stall {
 		p.Stats.ExtStalls.Inc()
 		if prev := p.stalled.get(m.Line); prev != nil {
 			// The directory serializes transactions per line, so at
 			// most one external request can be outstanding.
+			//rowlint:ignore noalloc fatal protocol-error path; the run is already over
 			p.fail(m, fmt.Sprintf("second stalled external request (already have %s)", prev.msg))
 			return true
 		}
@@ -767,6 +771,7 @@ func (p *Private) handleExternal(m *coherence.Msg, write bool) bool {
 	return true
 }
 
+//rowlint:noalloc
 func (p *Private) serveExternal(m *coherence.Msg) {
 	line := m.Line
 	switch m.Type {
@@ -802,6 +807,8 @@ func (p *Private) serveExternal(m *coherence.Msg) {
 
 // LockReleased must be called by the core when an atomic unlocks a
 // line; any stalled external request for it is then served.
+//
+//rowlint:noalloc
 func (p *Private) LockReleased(line uint64) {
 	if s, ok := p.stalled.remove(line); ok {
 		p.serveExternal(s.msg)
@@ -811,16 +818,20 @@ func (p *Private) LockReleased(line uint64) {
 
 // install places a fill into both levels (L2 inclusive of L1),
 // handling evictions and writebacks. Locked lines are never evicted.
+//
+//rowlint:noalloc
 func (p *Private) install(line uint64, st uint8) {
 	p.installL2(line, st)
 	p.installL1(line, st)
 }
 
+//rowlint:noalloc
 func (p *Private) installL1(line uint64, st uint8) {
 	_, _, _, ok := p.l1.InsertVeto(line, st, p.client.LineLocked)
 	_ = ok // if every way is locked the fill stays L2-only
 }
 
+//rowlint:noalloc
 func (p *Private) installL2(line uint64, st uint8) {
 	evTag, evMeta, evicted, ok := p.l2.InsertVeto(line, st, p.client.LineLocked)
 	if !ok {
@@ -854,6 +865,8 @@ func (p *Private) Warm(line uint64, state uint8) {
 
 // Tick advances internal pipelines: lookup completions and the
 // forced-release progress guarantee.
+//
+//rowlint:noalloc
 func (p *Private) Tick(cycle uint64) {
 	p.now = cycle
 	for len(p.events) > 0 && p.events[0].at <= cycle {
@@ -894,6 +907,13 @@ func (p *Private) PendingWork() bool {
 	return p.mshrs.len() > 0 || len(p.events) > 0 || p.stalled.len() > 0 || len(p.pendingFar) > 0
 }
 
+// RetainedMsgs counts the external requests parked in the stalled
+// table — the cache's share of the pool's outstanding population (the
+// end-of-run conservation check sums this across components).
+func (p *Private) RetainedMsgs() int {
+	return p.stalled.len()
+}
+
 // OldestMiss returns the line of the oldest outstanding demand miss or
 // far RMW, with a short description (deadlock diagnostics). ok is false
 // when nothing is outstanding.
@@ -912,6 +932,7 @@ func (p *Private) OldestMiss() (line uint64, desc string, ok bool) {
 			ok = true
 		}
 	}
+	//rowlint:ignore maporder minimum over (sentAt, line) with a total-order tie-break; visit order cannot change the result
 	for l, ws := range p.pendingFar {
 		if len(ws) == 0 {
 			continue
@@ -944,8 +965,14 @@ func (p *Private) DebugMSHRs() []string {
 	for _, line := range p.stalled.lines {
 		out = append(out, fmt.Sprintf("cache%d stalledExt line=%#x", p.coreID, line))
 	}
-	for line, ws := range p.pendingFar {
-		out = append(out, fmt.Sprintf("cache%d pendingFar line=%#x n=%d", p.coreID, line, len(ws)))
+	// Sorted so the deadlock report is identical run to run.
+	far := make([]uint64, 0, len(p.pendingFar))
+	for line := range p.pendingFar {
+		far = append(far, line)
+	}
+	sort.Slice(far, func(i, j int) bool { return far[i] < far[j] })
+	for _, line := range far {
+		out = append(out, fmt.Sprintf("cache%d pendingFar line=%#x n=%d", p.coreID, line, len(p.pendingFar[line])))
 	}
 	return out
 }

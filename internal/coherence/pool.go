@@ -18,11 +18,22 @@ package coherence
 // used after Put.
 type MsgPool struct {
 	free []*Msg
+
+	// gets/puts count every hand-out and release, pool-backed or not,
+	// so Outstanding is exactly the number of live messages whose
+	// ownership some component still holds. The end-of-run conservation
+	// check (sim.System) asserts it against the in-flight and retained
+	// populations; a mismatch means a consume-or-retain bug.
+	gets, puts int64
 }
 
 // Get returns a zeroed message, recycling a released one when possible.
 func (p *MsgPool) Get() *Msg {
-	if p == nil || len(p.free) == 0 {
+	if p == nil {
+		return new(Msg)
+	}
+	p.gets++
+	if len(p.free) == 0 {
 		return new(Msg)
 	}
 	m := p.free[len(p.free)-1]
@@ -45,8 +56,20 @@ func (p *MsgPool) Put(m *Msg) {
 	if p == nil || m == nil {
 		return
 	}
+	p.puts++
 	*m = Msg{}
 	p.free = append(p.free, m)
+}
+
+// Outstanding reports the number of messages handed out and not yet
+// released (gets minus puts). At any quiescent point this must equal
+// the population with a live owner: in flight in the network plus
+// retained in stall/waiting structures. Anything above that has leaked.
+func (p *MsgPool) Outstanding() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.gets - p.puts
 }
 
 // Size reports the number of idle messages on the free list (tests).

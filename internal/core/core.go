@@ -145,6 +145,8 @@ const tagSlotBits = 12
 
 // debugLock enables lock-timeline prints for core 0 (development aid;
 // compiled out when false).
+//
+//rowlint:ignore wallclock development-only log gate read once at init; it toggles prints, never simulated behaviour
 var debugLock = os.Getenv("ROWSIM_DEBUG_LOCK") != ""
 
 // Stats aggregates a core's behaviour for the experiment harnesses.

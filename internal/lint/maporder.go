@@ -1,0 +1,188 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags `range` over a map inside the deterministic core.
+// Go randomizes map iteration order per run, so any map range whose
+// order can reach simulation results, message ordering, error text or
+// trace output silently breaks byte-identical sweeps and resumes.
+//
+// The one blessed idiom is collect-then-sort — a loop whose body only
+// appends the keys to a slice that is sorted in the same block before
+// use:
+//
+//	keys := make([]uint64, 0, len(m))
+//	for k := range m {
+//		keys = append(keys, k)
+//	}
+//	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+//
+// Everything else needs either a rewrite or a
+// //rowlint:ignore maporder <reason> proving order-independence.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags randomized map iteration in deterministic packages",
+	Run:  runMapOrder,
+}
+
+func runMapOrder(pass *Pass) {
+	if !pass.Deterministic() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch n := n.(type) {
+			case *ast.BlockStmt:
+				list = n.List
+			case *ast.CaseClause:
+				list = n.Body
+			case *ast.CommClause:
+				list = n.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, ok := stmt.(*ast.RangeStmt)
+				if !ok {
+					continue
+				}
+				t := pass.Pkg.TypeOf(rs.X)
+				if t == nil {
+					continue
+				}
+				if _, ok := t.Underlying().(*types.Map); !ok {
+					continue
+				}
+				if collectThenSorted(pass.Pkg, rs, list[i+1:]) {
+					continue
+				}
+				pass.Reportf(rs.Pos(),
+					"range over map: iteration order is randomized; sort the keys before use (collect-then-sort) or justify with //rowlint:ignore maporder <reason>")
+			}
+			return true
+		})
+	}
+}
+
+// collectThenSorted recognizes the blessed idiom: the range body is a
+// single `s = append(s, key)` and a later statement in the same block
+// sorts s (sort.Slice/Ints/Strings/Float64s or slices.Sort*).
+func collectThenSorted(pkg *Package, rs *ast.RangeStmt, rest []ast.Stmt) bool {
+	key, ok := rs.Key.(*ast.Ident)
+	if !ok || key.Name == "_" {
+		return false
+	}
+	if rs.Value != nil {
+		if v, ok := rs.Value.(*ast.Ident); !ok || v.Name != "_" {
+			return false
+		}
+	}
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	asg, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	dst, ok := asg.Lhs[0].(*ast.Ident)
+	if !ok {
+		return false
+	}
+	call, ok := asg.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) != 2 {
+		return false
+	}
+	if fn, ok := call.Fun.(*ast.Ident); !ok || fn.Name != "append" {
+		return false
+	}
+	src, ok := call.Args[0].(*ast.Ident)
+	if !ok || !sameObject(pkg, src, dst) {
+		return false
+	}
+	arg, ok := call.Args[1].(*ast.Ident)
+	if !ok || !sameObject(pkg, arg, key) {
+		return false
+	}
+	// Look for the sort of dst later in the enclosing block.
+	for _, stmt := range rest {
+		es, ok := stmt.(*ast.ExprStmt)
+		if !ok {
+			continue
+		}
+		call, ok := es.X.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			continue
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			continue
+		}
+		pkgID, ok := sel.X.(*ast.Ident)
+		if !ok || !isPackage(pkg, pkgID, "sort", "slices") {
+			continue
+		}
+		switch sel.Sel.Name {
+		case "Slice", "SliceStable", "Ints", "Strings", "Float64s", "Sort", "SortFunc", "SortStableFunc":
+		default:
+			continue
+		}
+		if first, ok := call.Args[0].(*ast.Ident); ok && sameObject(pkg, first, dst) {
+			return true
+		}
+	}
+	return false
+}
+
+// sameObject reports whether two identifiers resolve to the same
+// object (falling back to name equality when types are unavailable).
+func sameObject(pkg *Package, a, b *ast.Ident) bool {
+	oa, ob := pkg.ObjectOf(a), pkg.ObjectOf(b)
+	if oa != nil && ob != nil {
+		return oa == ob
+	}
+	return a.Name == b.Name
+}
+
+// isBuiltin reports whether the identifier resolves to the predeclared
+// builtin of that name (make, new, append, panic, ...) rather than a
+// shadowing declaration. With no type information it trusts the name.
+func isBuiltin(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.ObjectOf(id)
+	if obj == nil {
+		return true
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// isPackage reports whether the identifier names one of the given
+// imported packages.
+func isPackage(pkg *Package, id *ast.Ident, paths ...string) bool {
+	if o := pkg.ObjectOf(id); o != nil {
+		pn, ok := o.(*types.PkgName)
+		if !ok {
+			return false
+		}
+		for _, p := range paths {
+			if pn.Imported().Path() == p {
+				return true
+			}
+		}
+		return false
+	}
+	for _, p := range paths {
+		base := p
+		if i := strings.LastIndex(p, "/"); i >= 0 {
+			base = p[i+1:]
+		}
+		if id.Name == base {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,553 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MsgPool enforces the pool ownership discipline documented on
+// coherence.MsgPool: every message drawn from the pool (Get/New) must,
+// on every control-flow path — error paths included — be released
+// (Put), handed to another owner (passed to a call such as Send or a
+// handler), retained (stored into a field, slice, map or channel), or
+// returned. A message that reaches the end of its scope still owned is
+// a leak: the free list shrinks, the steady state starts allocating,
+// and the AllocsPerRun gates rot.
+//
+// Two further rules catch the inverse bugs on any *Msg variable the
+// function tracks (pool results and *Msg parameters): a message must
+// never be used after it was Put (the pool zeroes it and will hand it
+// to an unrelated transaction), and never Put twice.
+//
+// The analysis is a per-function abstract interpretation over the AST:
+// intraprocedural and deliberately ownership-optimistic at call
+// boundaries (passing a message to any call transfers ownership).
+// The runtime conservation check (sim.MsgAccounting, asserted at every
+// successful end-of-run) is the dynamic complement covering whatever
+// this static pass trusts.
+var MsgPool = &Analyzer{
+	Name: "msgpool",
+	Doc:  "checks consume-or-retain ownership of pooled coherence messages",
+	Run:  runMsgPool,
+}
+
+// ownState is the abstract ownership state of one tracked variable.
+type ownState int
+
+const (
+	ownLive  ownState = iota // pool-owned here: must be consumed
+	ownMoved                 // transferred/retained/param: no leak duty
+	ownPut                   // released: any further use is a bug
+)
+
+type msgVar struct {
+	obj    *types.Var
+	origin token.Position // where the message was obtained
+	what   string         // "pool.Get" / "pool.New"
+}
+
+type poolFlow struct {
+	pass  *Pass
+	fn    *ast.FuncDecl
+	vars  map[*types.Var]*msgVar
+	state map[*types.Var]ownState
+}
+
+func runMsgPool(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			pf := &poolFlow{
+				pass:  pass,
+				fn:    fd,
+				vars:  make(map[*types.Var]*msgVar),
+				state: make(map[*types.Var]ownState),
+			}
+			// *Msg parameters are tracked for use-after-Put (the
+			// caller owns them; dropping one here is legal — the
+			// consume-or-retain duty stays with the single consumption
+			// point that received it from the network).
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if v, ok := pass.Pkg.ObjectOf(name).(*types.Var); ok && isMsgPtr(v.Type()) {
+						pf.vars[v] = &msgVar{obj: v, origin: pass.Pkg.Fset.Position(name.Pos()), what: "parameter"}
+						pf.state[v] = ownMoved
+					}
+				}
+			}
+			terminated := pf.block(fd.Body.List, fd.Body.Rbrace)
+			if !terminated {
+				pf.leakCheck(fd.Body.Rbrace, "end of function")
+			}
+		}
+	}
+}
+
+// isMsgPtr reports whether t is *Msg for a named type Msg (matched by
+// name so the fixture packages under testdata score like the real
+// coherence package).
+func isMsgPtr(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	n, ok := p.Elem().(*types.Named)
+	return ok && n.Obj().Name() == "Msg"
+}
+
+// poolCall classifies a call on a MsgPool receiver; returns "" for
+// other calls.
+func (pf *poolFlow) poolCall(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	switch sel.Sel.Name {
+	case "Get", "New", "Put":
+	default:
+		return ""
+	}
+	t := pf.pass.Pkg.TypeOf(sel.X)
+	if t == nil {
+		return ""
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "MsgPool" {
+		return ""
+	}
+	return sel.Sel.Name
+}
+
+// block runs the statements of one lexical scope. Variables first
+// obtained inside the scope must be consumed by the time it ends.
+// Returns whether every path through the scope terminated (return,
+// panic, branch).
+func (pf *poolFlow) block(stmts []ast.Stmt, end token.Pos) bool {
+	before := make(map[*types.Var]bool, len(pf.state))
+	for v := range pf.state {
+		before[v] = true
+	}
+	terminated := false
+	for _, s := range stmts {
+		if terminated {
+			break // unreachable; parser-verified code rarely has any
+		}
+		terminated = pf.stmt(s)
+	}
+	if !terminated {
+		// Scope ends: messages obtained in it die here.
+		for v, st := range pf.state {
+			if st == ownLive && !before[v] {
+				pf.reportLeak(v, end, "end of scope")
+				pf.state[v] = ownMoved
+			}
+		}
+	}
+	return terminated
+}
+
+// leakCheck reports every still-live tracked message at an exit point.
+func (pf *poolFlow) leakCheck(pos token.Pos, where string) {
+	for v, st := range pf.state {
+		if st == ownLive {
+			pf.reportLeak(v, pos, where)
+			pf.state[v] = ownMoved // one report per path suffices
+		}
+	}
+}
+
+func (pf *poolFlow) reportLeak(v *types.Var, pos token.Pos, where string) {
+	mv := pf.vars[v]
+	pf.pass.Reportf(pos,
+		"message %q from %s (line %d) is neither Put, retained, nor forwarded on the path reaching %s: the pool leaks",
+		v.Name(), mv.what, mv.origin.Line, where)
+}
+
+// stmt interprets one statement; returns true when the statement
+// terminates the path (return, panic, branch).
+func (pf *poolFlow) stmt(s ast.Stmt) bool {
+	switch s := s.(type) {
+	case *ast.AssignStmt:
+		pf.assign(s)
+	case *ast.ExprStmt:
+		pf.expr(s.X)
+		return pf.isTerminatorCall(s.X)
+	case *ast.DeferStmt:
+		pf.expr(s.Call)
+	case *ast.GoStmt:
+		pf.expr(s.Call)
+	case *ast.SendStmt:
+		pf.consumeIdent(s.Value, "channel send")
+		pf.expr(s.Chan)
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			pf.consumeIdent(r, "return")
+			pf.expr(r)
+		}
+		pf.leakCheck(s.Pos(), "this return")
+		return true
+	case *ast.IfStmt:
+		if s.Init != nil {
+			pf.stmt(s.Init)
+		}
+		pf.expr(s.Cond)
+		branches := []ast.Stmt{s.Body}
+		if s.Else != nil {
+			branches = append(branches, s.Else)
+		} else {
+			branches = append(branches, nil)
+		}
+		return pf.branch(branches)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			pf.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			pf.expr(s.Tag)
+		}
+		return pf.caseBranches(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			pf.stmt(s.Init)
+		}
+		pf.stmt(s.Assign)
+		return pf.caseBranches(s.Body)
+	case *ast.SelectStmt:
+		return pf.caseBranches(s.Body)
+	case *ast.ForStmt:
+		if s.Init != nil {
+			pf.stmt(s.Init)
+		}
+		if s.Cond != nil {
+			pf.expr(s.Cond)
+		}
+		if s.Post != nil {
+			pf.stmt(s.Post)
+		}
+		pf.loopBody(s.Body)
+		return s.Cond == nil // `for {}` only exits via break/return
+	case *ast.RangeStmt:
+		pf.expr(s.X)
+		pf.loopBody(s.Body)
+	case *ast.BlockStmt:
+		return pf.block(s.List, s.Rbrace)
+	case *ast.LabeledStmt:
+		return pf.stmt(s.Stmt)
+	case *ast.BranchStmt:
+		// break/continue/goto leave the scope; stay lax (no leak check:
+		// a loop-carried message may be consumed on a later iteration).
+		return true
+	case *ast.IncDecStmt:
+		pf.expr(s.X)
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						pf.expr(v)
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+// branch analyzes alternative paths (if/else arms), merging the
+// resulting states: a message live on any surviving arm stays live; a
+// message Put on any surviving arm is poisoned for later use.
+func (pf *poolFlow) branch(arms []ast.Stmt) bool {
+	entry := pf.snapshot()
+	var outs []map[*types.Var]ownState
+	allTerminated := true
+	for _, arm := range arms {
+		pf.state = cloneState(entry)
+		term := false
+		if arm != nil {
+			term = pf.stmt(arm)
+		}
+		if !term {
+			outs = append(outs, pf.state)
+			allTerminated = false
+		}
+	}
+	pf.state = mergeStates(entry, outs)
+	return allTerminated
+}
+
+// caseBranches analyzes a switch/select body clause-by-clause. A
+// switch without a default keeps the fall-through path alive.
+func (pf *poolFlow) caseBranches(body *ast.BlockStmt) bool {
+	entry := pf.snapshot()
+	var outs []map[*types.Var]ownState
+	hasDefault := false
+	allTerminated := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			pf.state = cloneState(entry)
+			for _, e := range c.List {
+				pf.expr(e)
+			}
+			pf.state = cloneState(entry)
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			}
+			pf.state = cloneState(entry)
+			if c.Comm != nil {
+				pf.stmt(c.Comm)
+			}
+			term := pf.block(c.Body, body.Rbrace)
+			if !term {
+				outs = append(outs, pf.state)
+				allTerminated = false
+			}
+			continue
+		}
+		pf.state = cloneState(entry)
+		term := pf.block(stmts, body.Rbrace)
+		if !term {
+			outs = append(outs, pf.state)
+			allTerminated = false
+		}
+	}
+	if !hasDefault {
+		outs = append(outs, cloneState(entry))
+		allTerminated = false
+	}
+	pf.state = mergeStates(entry, outs)
+	return allTerminated
+}
+
+// loopBody analyzes a loop body in its own scope: messages obtained
+// inside one iteration must be consumed within it.
+func (pf *poolFlow) loopBody(body *ast.BlockStmt) {
+	entry := pf.snapshot()
+	pf.state = cloneState(entry)
+	term := pf.block(body.List, body.Rbrace)
+	out := pf.state
+	if term {
+		out = entry
+	}
+	pf.state = mergeStates(entry, []map[*types.Var]ownState{out})
+}
+
+func (pf *poolFlow) snapshot() map[*types.Var]ownState { return cloneState(pf.state) }
+
+func cloneState(m map[*types.Var]ownState) map[*types.Var]ownState {
+	out := make(map[*types.Var]ownState, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// mergeStates joins surviving branch states. Live wins over moved
+// (leaking on one path is a leak); Put wins over moved (using after a
+// conditional Put is a bug on that path).
+func mergeStates(entry map[*types.Var]ownState, outs []map[*types.Var]ownState) map[*types.Var]ownState {
+	if len(outs) == 0 {
+		return cloneState(entry)
+	}
+	merged := cloneState(outs[0])
+	for _, out := range outs[1:] {
+		for v, st := range out {
+			cur, ok := merged[v]
+			if !ok {
+				merged[v] = st
+				continue
+			}
+			if st == ownLive || cur == ownLive {
+				merged[v] = ownLive
+			} else if st == ownPut || cur == ownPut {
+				merged[v] = ownPut
+			}
+		}
+	}
+	return merged
+}
+
+// assign handles tracking starts (x := pool.Get()), ownership
+// transfers through aliasing, and retention through field stores.
+func (pf *poolFlow) assign(s *ast.AssignStmt) {
+	// Pairwise only when the counts line up (not a multi-value call).
+	pairwise := len(s.Lhs) == len(s.Rhs)
+	for i, rhs := range s.Rhs {
+		pf.expr(rhs)
+		if !pairwise {
+			continue
+		}
+		lhs := s.Lhs[i]
+		// Retention: storing the tracked message anywhere but a plain
+		// local identifier parks it under a new owner.
+		if id, ok := rhs.(*ast.Ident); ok {
+			if v := pf.trackedIdent(id); v != nil {
+				if _, plain := lhs.(*ast.Ident); !plain {
+					pf.moveVar(v)
+				} else {
+					// Alias: ownership transfers to the new name; the
+					// analysis stops tracking (a rename, not a copy
+					// the protocol cares about).
+					pf.moveVar(v)
+				}
+			}
+		}
+		// Tracking start: a fresh pool message bound to an identifier.
+		if call, ok := rhs.(*ast.CallExpr); ok {
+			what := pf.poolCall(call)
+			if what == "Get" || what == "New" {
+				if id, ok := lhs.(*ast.Ident); ok && id.Name != "_" {
+					if v, ok := pf.pass.Pkg.ObjectOf(id).(*types.Var); ok {
+						if cur, tracked := pf.state[v]; tracked && cur == ownLive {
+							pf.reportLeak(v, s.Pos(), "this reassignment")
+						}
+						pf.vars[v] = &msgVar{
+							obj:    v,
+							origin: pf.pass.Pkg.Fset.Position(call.Pos()),
+							what:   "pool." + what,
+						}
+						pf.state[v] = ownLive
+					}
+				}
+			}
+		}
+	}
+}
+
+// expr walks an expression: flags uses of Put messages, applies Put
+// transitions, and treats a bare tracked identifier appearing as a
+// call argument, composite-literal element or address-taken operand as
+// an ownership transfer.
+func (pf *poolFlow) expr(e ast.Expr) {
+	if e == nil {
+		return
+	}
+	// First the use-after-Put sweep over every identifier occurrence.
+	ast.Inspect(e, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		if v := pf.trackedIdent(id); v != nil && pf.state[v] == ownPut {
+			mv := pf.vars[v]
+			pf.pass.Reportf(id.Pos(),
+				"%q is used after Put: the pool has zeroed it and may already have reissued it (message from %s, line %d)",
+				id.Name, mv.what, mv.origin.Line)
+			pf.state[v] = ownMoved // one report per misuse site
+		}
+		return true
+	})
+	// Then the ownership transitions.
+	ast.Inspect(e, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if pf.poolCall(n) == "Put" && len(n.Args) == 1 {
+				if id, ok := n.Args[0].(*ast.Ident); ok {
+					if v := pf.trackedIdent(id); v != nil {
+						pf.state[v] = ownPut
+						return false // args handled
+					}
+				}
+			}
+			for _, arg := range n.Args {
+				pf.consumeIdent(arg, "call")
+			}
+		case *ast.CompositeLit:
+			for _, el := range n.Elts {
+				if kv, ok := el.(*ast.KeyValueExpr); ok {
+					pf.consumeIdent(kv.Value, "composite literal")
+				} else {
+					pf.consumeIdent(el, "composite literal")
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				pf.consumeIdent(n.X, "address-of")
+			}
+		case *ast.FuncLit:
+			// The closure may stash or release the message later.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v := pf.trackedIdent(id); v != nil {
+						pf.moveVar(v)
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+}
+
+// consumeIdent transfers ownership when the expression is a bare
+// tracked identifier (not a field read like m.Line).
+func (pf *poolFlow) consumeIdent(e ast.Expr, _ string) {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return
+	}
+	if v := pf.trackedIdent(id); v != nil {
+		pf.moveVar(v)
+	}
+}
+
+func (pf *poolFlow) moveVar(v *types.Var) {
+	if pf.state[v] == ownLive {
+		pf.state[v] = ownMoved
+	}
+}
+
+// trackedIdent resolves an identifier to a tracked message variable.
+func (pf *poolFlow) trackedIdent(id *ast.Ident) *types.Var {
+	v, ok := pf.pass.Pkg.ObjectOf(id).(*types.Var)
+	if !ok {
+		return nil
+	}
+	if _, tracked := pf.vars[v]; !tracked {
+		return nil
+	}
+	return v
+}
+
+// isTerminatorCall reports whether the expression statement cannot
+// fall through (panic, os.Exit, log.Fatal*, runtime.Goexit).
+func (pf *poolFlow) isTerminatorCall(e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name == "panic" && isBuiltin(pf.pass.Pkg, fun)
+	case *ast.SelectorExpr:
+		id, ok := fun.X.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		if isPackage(pf.pass.Pkg, id, "os") && fun.Sel.Name == "Exit" {
+			return true
+		}
+		if isPackage(pf.pass.Pkg, id, "log") && strings.HasPrefix(fun.Sel.Name, "Fatal") {
+			return true
+		}
+		if isPackage(pf.pass.Pkg, id, "runtime") && fun.Sel.Name == "Goexit" {
+			return true
+		}
+	}
+	return false
+}

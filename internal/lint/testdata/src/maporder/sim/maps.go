@@ -1,0 +1,51 @@
+// Package sim is a maporder fixture: its name puts it in the
+// deterministic core, so map ranges here must be sorted, blessed, or
+// justified.
+package sim
+
+import "sort"
+
+// Table is keyed by line address, like the real directory.
+type Table map[uint64]int
+
+// Sum iterates a map with both key and value bound: flagged.
+func Sum(t Table) int {
+	total := 0
+	for line, n := range t { // want: maporder
+		total += int(line) + n
+	}
+	return total
+}
+
+// Names iterates key-only without sorting: flagged.
+func Names(t Table) []uint64 {
+	var out []uint64
+	for line := range t { // want: maporder
+		if line%2 == 0 {
+			out = append(out, line+1)
+		}
+	}
+	return out
+}
+
+// SortedKeys uses the blessed collect-then-sort idiom: not flagged.
+func SortedKeys(t Table) []uint64 {
+	keys := make([]uint64, 0, len(t))
+	for k := range t {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// AnyNonZero is order-independent and carries the mandatory
+// justification: suppressed, not active.
+func AnyNonZero(t Table) bool {
+	//rowlint:ignore maporder boolean OR over all entries is order-independent
+	for _, n := range t {
+		if n != 0 {
+			return true
+		}
+	}
+	return false
+}

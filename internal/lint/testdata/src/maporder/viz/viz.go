@@ -1,0 +1,12 @@
+// Package viz is outside the deterministic core: map iteration here is
+// legal and must produce no findings.
+package viz
+
+// Render iterates a map freely — reporting code may.
+func Render(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

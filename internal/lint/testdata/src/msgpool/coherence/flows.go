@@ -1,0 +1,95 @@
+package coherence
+
+// Agent exercises the ownership flows the analyzer checks.
+type Agent struct {
+	pool    *MsgPool
+	net     Network
+	waiting []*Msg
+	busy    bool
+}
+
+// LeakOnErrorPath draws a message and forgets it on the early return:
+// flagged at that return.
+func (a *Agent) LeakOnErrorPath(line uint64) bool {
+	m := a.pool.Get()
+	m.Line = line
+	if a.busy {
+		return false // want: msgpool leak
+	}
+	a.net.Send(m)
+	return true
+}
+
+// LeakAtEnd never consumes the message at all: flagged at the end of
+// the function.
+func (a *Agent) LeakAtEnd(line uint64) {
+	m := a.pool.New(Msg{Line: line})
+	m.Type = 1
+} // want: msgpool leak
+
+// UseAfterPut touches a released message: flagged at the use.
+func (a *Agent) UseAfterPut(line uint64) uint64 {
+	m := a.pool.Get()
+	m.Line = line
+	a.pool.Put(m)
+	return m.Line // want: msgpool use-after-put
+}
+
+// DoublePut releases twice: the second Put is a use of a Put message,
+// flagged.
+func (a *Agent) DoublePut() {
+	m := a.pool.Get()
+	a.pool.Put(m)
+	a.pool.Put(m) // want: msgpool use-after-put
+}
+
+// PutOnEveryPath releases on both arms: clean.
+func (a *Agent) PutOnEveryPath(line uint64) bool {
+	m := a.pool.Get()
+	m.Line = line
+	if a.busy {
+		a.pool.Put(m)
+		return false
+	}
+	a.pool.Put(m)
+	return true
+}
+
+// RetainInQueue parks the message in a stall structure: clean (the
+// serve path owns it from here).
+func (a *Agent) RetainInQueue(line uint64) {
+	m := a.pool.New(Msg{Line: line})
+	a.waiting = append(a.waiting, m)
+}
+
+// ForwardToNetwork hands ownership to the network: clean.
+func (a *Agent) ForwardToNetwork(line uint64, dst int) {
+	m := a.pool.New(Msg{Line: line, Dst: dst})
+	a.net.Send(m)
+}
+
+// ReturnToCaller transfers ownership out: clean.
+func (a *Agent) ReturnToCaller(line uint64) *Msg {
+	m := a.pool.Get()
+	m.Line = line
+	return m
+}
+
+// HandlerParamMayDrop mirrors the real handler shape: parameters are
+// caller-owned, so not consuming one is legal; using it after Put is
+// still flagged elsewhere.
+func (a *Agent) HandlerParamMayDrop(m *Msg) bool {
+	if m.Type == 0 {
+		return false // stale: caller releases
+	}
+	a.waiting = append(a.waiting, m)
+	return true
+}
+
+// JustifiedLeak shows the escape hatch with its mandatory reason:
+// suppressed, not active.
+func (a *Agent) JustifiedLeak(line uint64) {
+	m := a.pool.Get()
+	m.Line = line
+	//rowlint:ignore msgpool transferred through unsafe tracing path the analyzer cannot see
+} // want: msgpool suppressed leak

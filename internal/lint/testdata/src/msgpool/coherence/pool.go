@@ -1,0 +1,47 @@
+// Package coherence is a msgpool fixture: a self-contained replica of
+// the Msg/MsgPool shape (the analyzer matches the type names, so the
+// fixture scores exactly like the real package).
+package coherence
+
+// Msg is one protocol message.
+type Msg struct {
+	Type int
+	Line uint64
+	Dst  int
+}
+
+// MsgPool recycles messages.
+type MsgPool struct {
+	free []*Msg
+}
+
+// Get returns a zeroed message.
+func (p *MsgPool) Get() *Msg {
+	if len(p.free) == 0 {
+		return new(Msg)
+	}
+	m := p.free[len(p.free)-1]
+	p.free = p.free[:len(p.free)-1]
+	return m
+}
+
+// New returns a pooled message initialized to v.
+func (p *MsgPool) New(v Msg) *Msg {
+	m := p.Get()
+	*m = v
+	return m
+}
+
+// Put releases a message.
+func (p *MsgPool) Put(m *Msg) {
+	if m == nil {
+		return
+	}
+	*m = Msg{}
+	p.free = append(p.free, m)
+}
+
+// Network is the consumption boundary.
+type Network interface {
+	Send(m *Msg)
+}

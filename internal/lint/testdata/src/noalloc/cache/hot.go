@@ -1,0 +1,94 @@
+// Package cache is a noalloc fixture: functions annotated
+// //rowlint:noalloc may not contain allocation-prone constructs;
+// unannotated functions are unconstrained.
+package cache
+
+import "fmt"
+
+// Ctl is a controller with recycled buffers, like the real private
+// cache.
+type Ctl struct {
+	buf  []uint64
+	hits int
+}
+
+// HotFormat formats on the hot path: flagged (fmt call).
+//
+//rowlint:noalloc
+func (c *Ctl) HotFormat(line uint64) {
+	_ = fmt.Sprintf("line %#x", line) // want: noalloc fmt
+}
+
+// HotClosure captures a local in a closure: flagged.
+//
+//rowlint:noalloc
+func (c *Ctl) HotClosure(lines []uint64) int {
+	n := 0
+	visit := func() { n++ } // want: noalloc closure
+	for range lines {
+		visit()
+	}
+	return n
+}
+
+// HotGrow appends to an unsized local slice and builds a map literal:
+// both flagged.
+//
+//rowlint:noalloc
+func (c *Ctl) HotGrow(lines []uint64) int {
+	var scratch []uint64
+	for _, l := range lines {
+		scratch = append(scratch, l) // want: noalloc append
+	}
+	seen := map[uint64]bool{} // want: noalloc map literal
+	_ = seen
+	return len(scratch)
+}
+
+// HotRecycle appends to the receiver's recycled buffer and to a slice
+// received from the caller: both legal, no findings.
+//
+//rowlint:noalloc
+func (c *Ctl) HotRecycle(lines []uint64, scratch []uint64) int {
+	c.buf = c.buf[:0]
+	for _, l := range lines {
+		c.buf = append(c.buf, l)
+	}
+	for _, l := range lines {
+		if l&1 == 0 {
+			scratch = append(scratch, l)
+		}
+	}
+	return len(c.buf) + len(scratch)
+}
+
+// HotLazyInit documents a cold branch inside a hot function:
+// suppressed, not active.
+//
+//rowlint:noalloc
+func (c *Ctl) HotLazyInit() {
+	if c.buf == nil {
+		c.buf = make([]uint64, 0, 64) //rowlint:ignore noalloc one-time lazy init, amortized to zero
+	}
+	c.hits++
+}
+
+// HotBox boxes a concrete value into an interface: flagged at the
+// assignment and at the call boundary.
+//
+//rowlint:noalloc
+func (c *Ctl) HotBox(line uint64) {
+	var sink any
+	sink = line // want: noalloc boxing assignment
+	_ = sink
+	consume(line) // want: noalloc boxing argument
+}
+
+func consume(v any) { _ = v }
+
+// ColdReport is not annotated: the same constructs produce no
+// findings.
+func (c *Ctl) ColdReport() string {
+	all := map[string]int{"hits": c.hits}
+	return fmt.Sprint(all)
+}

@@ -1,0 +1,38 @@
+// Package core is a wallclock fixture: deterministic-core code must
+// not read wall clocks, the global math/rand source, or the host
+// environment.
+package core
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp reads the wall clock: flagged.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want: wallclock
+}
+
+// Jitter draws from the global math/rand source: flagged.
+func Jitter() int {
+	return rand.Intn(8) // want: wallclock
+}
+
+// Configured reads the host environment: flagged.
+func Configured() bool {
+	return os.Getenv("ROWSIM_MODE") != "" // want: wallclock
+}
+
+// SeededDelay uses an explicitly seeded local source — the legal
+// pattern — plus deterministic helpers from the banned packages.
+func SeededDelay(seed int64, cycles uint64) time.Duration {
+	r := rand.New(rand.NewSource(seed))
+	return time.Duration(cycles+uint64(r.Intn(4))) * time.Nanosecond
+}
+
+// DebugDump is justified at the one legal call site: suppressed.
+func DebugDump() string {
+	//rowlint:ignore wallclock debug-only banner; never reaches simulated state
+	return os.Getenv("ROWSIM_BANNER")
+}

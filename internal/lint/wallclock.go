@@ -1,0 +1,88 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// WallClock bans ambient nondeterminism inside the deterministic core:
+// wall-clock reads (time.Now and friends), the global math/rand source
+// (whose state is shared, seeded from the clock, and lock-protected),
+// and environment lookups. Simulated components must take time from
+// the simulation clock, randomness from a seeded *xrand.Rand (or a
+// locally constructed rand.New(rand.NewSource(seed))), and
+// configuration from injected Config values — never from the host.
+var WallClock = &Analyzer{
+	Name: "wallclock",
+	Doc:  "bans wall clocks, global math/rand and env reads in deterministic packages",
+	Run:  runWallClock,
+}
+
+// wallclockBanned maps package path -> banned member -> replacement
+// hint. Only ambient-state entry points are listed; deterministic
+// helpers from the same packages (time.Duration, rand.New,
+// rand.NewSource, os.Exit) stay legal.
+var wallclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":   "take the cycle count from the simulation clock",
+		"Since": "take the cycle count from the simulation clock",
+		"Until": "take the cycle count from the simulation clock",
+	},
+	"os": {
+		"Getenv":    "inject the setting through config.Config",
+		"LookupEnv": "inject the setting through config.Config",
+		"Environ":   "inject the setting through config.Config",
+		"ExpandEnv": "inject the setting through config.Config",
+	},
+	"math/rand": {
+		"Int": "use a seeded *xrand.Rand", "Intn": "use a seeded *xrand.Rand",
+		"Int31": "use a seeded *xrand.Rand", "Int31n": "use a seeded *xrand.Rand",
+		"Int63": "use a seeded *xrand.Rand", "Int63n": "use a seeded *xrand.Rand",
+		"Uint32": "use a seeded *xrand.Rand", "Uint64": "use a seeded *xrand.Rand",
+		"Float32": "use a seeded *xrand.Rand", "Float64": "use a seeded *xrand.Rand",
+		"ExpFloat64": "use a seeded *xrand.Rand", "NormFloat64": "use a seeded *xrand.Rand",
+		"Perm": "use a seeded *xrand.Rand", "Shuffle": "use a seeded *xrand.Rand",
+		"Seed": "use a seeded *xrand.Rand", "Read": "use a seeded *xrand.Rand",
+	},
+	"math/rand/v2": {
+		"Int": "use a seeded *xrand.Rand", "IntN": "use a seeded *xrand.Rand",
+		"Int32": "use a seeded *xrand.Rand", "Int32N": "use a seeded *xrand.Rand",
+		"Int64": "use a seeded *xrand.Rand", "Int64N": "use a seeded *xrand.Rand",
+		"Uint32": "use a seeded *xrand.Rand", "Uint64": "use a seeded *xrand.Rand",
+		"Float32": "use a seeded *xrand.Rand", "Float64": "use a seeded *xrand.Rand",
+		"ExpFloat64": "use a seeded *xrand.Rand", "NormFloat64": "use a seeded *xrand.Rand",
+		"Perm": "use a seeded *xrand.Rand", "Shuffle": "use a seeded *xrand.Rand",
+		"N": "use a seeded *xrand.Rand",
+	},
+}
+
+func runWallClock(pass *Pass) {
+	if !pass.Deterministic() {
+		return
+	}
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			pn, ok := pass.Pkg.ObjectOf(id).(*types.PkgName)
+			if !ok {
+				return true
+			}
+			path := pn.Imported().Path()
+			hint, banned := wallclockBanned[path][sel.Sel.Name]
+			if !banned {
+				return true
+			}
+			pass.Reportf(sel.Pos(),
+				"%s.%s reads ambient host state, which breaks run-to-run determinism; %s",
+				id.Name, sel.Sel.Name, hint)
+			return true
+		})
+	}
+}

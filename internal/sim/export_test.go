@@ -1,0 +1,6 @@
+package sim
+
+// LeakMsgForTest draws one message from the system's pool and drops it,
+// simulating a component that lost a message without Put. Tests use it
+// to prove the end-of-run conservation check actually fires.
+func (s *System) LeakMsgForTest() { s.pool.Get() }

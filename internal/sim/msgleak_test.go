@@ -1,0 +1,59 @@
+package sim_test
+
+import (
+	"errors"
+	"testing"
+
+	"rowsim/internal/config"
+	"rowsim/internal/sim"
+	"rowsim/internal/workload"
+)
+
+func msgLeakSystem(t *testing.T) *sim.System {
+	t.Helper()
+	p := workload.MustGet("sps")
+	progs := workload.Generate(p, 4, 500, 7)
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.MaxCycles = 50_000_000
+	s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestRunMsgAccountingBalanced: a successful run ends with the pool
+// conservation law holding — every message drawn is in flight,
+// retained, or released. The in-run check already enforces this (Run
+// would have failed); asserting via the public accessor additionally
+// pins the accessor itself.
+func TestRunMsgAccountingBalanced(t *testing.T) {
+	s := msgLeakSystem(t)
+	if _, err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	out, inFlight, retained := s.MsgAccounting()
+	if out != int64(inFlight)+int64(retained) {
+		t.Fatalf("accounting unbalanced after successful run: outstanding=%d inFlight=%d retained=%d",
+			out, inFlight, retained)
+	}
+}
+
+// TestSeededLeakDetected: dropping a single pooled message without Put
+// turns a clean run into a *MsgLeakError naming the exact residue.
+func TestSeededLeakDetected(t *testing.T) {
+	s := msgLeakSystem(t)
+	s.LeakMsgForTest()
+	_, err := s.Run()
+	var le *sim.MsgLeakError
+	if !errors.As(err, &le) {
+		t.Fatalf("run with a seeded leak returned %v, want *MsgLeakError", err)
+	}
+	if leaked := le.Outstanding - int64(le.InFlight) - int64(le.Retained); leaked != 1 {
+		t.Fatalf("leak residue = %d, want exactly the 1 seeded message (err: %v)", leaked, le)
+	}
+	if le.Error() == "" {
+		t.Fatal("MsgLeakError has an empty message")
+	}
+}

@@ -339,7 +339,48 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 			}
 		}
 	}
+	if err := s.checkMsgConservation(); err != nil {
+		return Result{}, err
+	}
 	return s.collect(), nil
+}
+
+// MsgAccounting returns the three message populations the pool
+// conservation law relates: outstanding (pool gets minus puts), in
+// flight (owned by the network), and retained (parked in directory
+// waiting queues and cache stall tables).
+func (s *System) MsgAccounting() (outstanding int64, inFlight, retained int) {
+	outstanding = s.pool.Outstanding()
+	inFlight = s.mesh.InFlightMsgs()
+	for _, d := range s.dirs {
+		retained += d.RetainedMsgs()
+	}
+	for _, pc := range s.caches {
+		retained += pc.RetainedMsgs()
+	}
+	return outstanding, inFlight, retained
+}
+
+// checkMsgConservation asserts the pool conservation law at the end of
+// a successful run: every message drawn from the pool is either still
+// in flight, still retained, or was released. It runs only on the
+// success path — error returns leave transactions legitimately open —
+// and is a pure read: it never drains the network or perturbs stats,
+// so enabling it cannot change any reported result. Legal fault
+// injection keeps the books balanced (drops and duplicate copies are
+// Put/Get through the pool by the mesh), so a nonzero residue is
+// always a consume-or-retain bug in a component.
+func (s *System) checkMsgConservation() error {
+	outstanding, inFlight, retained := s.MsgAccounting()
+	if outstanding != int64(inFlight)+int64(retained) {
+		return &MsgLeakError{
+			Cycle:       s.cycle,
+			Outstanding: outstanding,
+			InFlight:    inFlight,
+			Retained:    retained,
+		}
+	}
+	return nil
 }
 
 // FaultStats returns the injector's decision counts, or a zero value
@@ -394,7 +435,16 @@ func (s *System) CheckCoherence() error {
 			return nil
 		}
 	}
-	for line, hs := range holders {
+	// Sort the lines so that, when several are in violation, the same
+	// one is reported on every run (the error text reaches logs and
+	// torture-harness dedup keys).
+	lines := make([]uint64, 0, len(holders))
+	for line := range holders {
+		lines = append(lines, line)
+	}
+	sort.Slice(lines, func(i, j int) bool { return lines[i] < lines[j] })
+	for _, line := range lines {
+		hs := holders[line]
 		if len(hs) < 2 {
 			continue
 		}

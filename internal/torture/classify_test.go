@@ -1,0 +1,16 @@
+package torture
+
+import (
+	"testing"
+
+	"rowsim/internal/sim"
+)
+
+// TestClassifyMsgLeak: pool-conservation failures get their own
+// failure kind in sweep summaries.
+func TestClassifyMsgLeak(t *testing.T) {
+	err := &sim.MsgLeakError{Cycle: 42, Outstanding: 3, InFlight: 1, Retained: 1}
+	if kind := Classify(err); kind != "msg-leak" {
+		t.Fatalf("Classify(MsgLeakError) = %q, want \"msg-leak\"", kind)
+	}
+}

@@ -229,7 +229,7 @@ type Failure struct {
 	Index int // run index within the sweep
 	Spec  RunSpec
 	Err   error
-	Kind  string // protocol | deadlock | cycle-limit | coherence | replay-mismatch | panic | timeout | setup
+	Kind  string // protocol | deadlock | cycle-limit | coherence | msg-leak | replay-mismatch | panic | timeout | setup
 }
 
 // Classify names the failure mode of a run error.
@@ -238,6 +238,7 @@ func Classify(err error) string {
 	var de *sim.DeadlockError
 	var ce *sim.CycleLimitError
 	var ve *sim.CoherenceViolationError
+	var le *sim.MsgLeakError
 	var re *ReplayMismatchError
 	var rp *lifecycle.RunPanicError
 	switch {
@@ -251,6 +252,8 @@ func Classify(err error) string {
 		return "cycle-limit"
 	case errors.As(err, &ve):
 		return "coherence"
+	case errors.As(err, &le):
+		return "msg-leak"
 	case errors.As(err, &rp):
 		return "panic"
 	case errors.Is(err, context.DeadlineExceeded):
