@@ -25,6 +25,13 @@
 //	rowtorture -seed 0x3a41 -wl cq -variant "RW+Dir_Sat" -cores 8 -instrs 2500 -faults "jitter=0.5:16"
 //
 // re-executes exactly that run and prints its outcome.
+//
+// Witness-replay mode (triggered by -replay) re-executes a one-line
+// counterexample emitted by the rowcheck model checker against the
+// real component stack and reports whether the invariant violation
+// reproduces:
+//
+//	rowtorture -replay 'mcheck v1 cores=2 lines=1 banks=1 mode=eager net=fifo bug=getx-as-gets prog=... trace=...'
 package main
 
 import (
@@ -38,6 +45,7 @@ import (
 
 	"rowsim/internal/faults"
 	"rowsim/internal/lifecycle"
+	"rowsim/internal/mcheck"
 	"rowsim/internal/torture"
 )
 
@@ -64,9 +72,13 @@ func run() int {
 		deadlin = flag.Duration("deadline", 0, "whole-sweep wall-clock deadline (0 = off)")
 		retries = flag.Int("retries", 1, "attempt budget per run for transient failures (timeout, panic)")
 		verbose = flag.Bool("v", false, "print a line per run")
+		witness = flag.String("replay", "", "replay a rowcheck witness spec (mcheck v1 ...)")
 	)
 	flag.Parse()
 
+	if *witness != "" {
+		return replayWitness(*witness)
+	}
 	if *wl != "" {
 		return repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget)
 	}
@@ -185,6 +197,24 @@ func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, bu
 	}
 	fmt.Printf("ok: %d cycles, %d committed, IPC %.2f, %d network messages\n",
 		res.Cycles, res.Committed, res.IPC, res.NetworkMessages)
+	return 0
+}
+
+// replayWitness strictly re-executes a rowcheck counterexample. Exit 1
+// when the violation reproduces (the expected outcome for a live bug),
+// 0 when the trace replays cleanly (the bug is fixed), 2 on a spec that
+// no longer applies.
+func replayWitness(spec string) int {
+	res, err := mcheck.Replay(spec)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if v := res.Violation; v != nil {
+		fmt.Printf("reproduced [%s] after %d choices: %s\n", torture.Classify(v), len(v.Trace), v.Detail)
+		return 1
+	}
+	fmt.Printf("ok: witness replayed cleanly (%d choices) — violation not reproduced\n", res.Stats.Transitions)
 	return 0
 }
 

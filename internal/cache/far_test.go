@@ -77,3 +77,84 @@ func TestStrayFarDonePanics(t *testing.T) {
 	}()
 	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
 }
+
+// TestFarRMWDeferredBehindOutstandingMiss is the regression test for a
+// protocol bug the model checker (internal/mcheck) found: a far RMW
+// issued while a same-line miss was in flight invalidated the local
+// copy and queued a PutX that was stale at send time — but the upgrade
+// fill then re-installed the line in M, and the once-stale PutX from
+// the now-legitimate owner later wiped the directory entry, leaving the
+// directory in I while the core held M. Far RMWs must park behind the
+// in-flight miss and issue only once it retires.
+func TestFarRMWDeferredBehindOutstandingMiss(t *testing.T) {
+	p, net, client := newCacheUnderTest()
+	p.Warm(lineB, StateS)
+	p.Tick(1)
+	p.Access(1, lineB, true) // upgrade miss: GetX goes out
+	tick(p, 2, 20)
+	if sent := net.take(); len(sent) != 1 || sent[0].Type != coherence.MsgGetX {
+		t.Fatalf("expected the upgrade GetX, got %v", sent)
+	}
+
+	p.FarRMW(2, lineB)
+	if sent := net.take(); len(sent) != 0 {
+		t.Fatalf("far RMW issued traffic while a same-line miss is outstanding: %v", sent)
+	}
+	if p.State(lineB) == StateI {
+		t.Fatal("deferred far RMW invalidated the local copy early")
+	}
+	if !p.PendingWork() {
+		t.Fatal("deferred far RMW not reported as pending work")
+	}
+
+	// The upgrade fill retires the MSHR; the deferred far RMW must now
+	// issue: invalidate the copy, write back the M line, send GetFar.
+	p.Deliver([]*coherence.Msg{{
+		Type: coherence.MsgData, Line: lineB, Src: 32, Dst: 0, Requestor: 0,
+		Grant: coherence.GrantM,
+	}})
+	p.Tick(21)
+	if _, ok := client.resps[1]; !ok {
+		t.Fatal("upgrade miss never completed")
+	}
+	var types []coherence.MsgType
+	for _, m := range net.take() {
+		types = append(types, m.Type)
+	}
+	want := []coherence.MsgType{coherence.MsgUnblockX, coherence.MsgPutX, coherence.MsgGetFar}
+	if len(types) != len(want) {
+		t.Fatalf("after fill: sent %v, want %v", types, want)
+	}
+	for i := range want {
+		if types[i] != want[i] {
+			t.Fatalf("after fill: sent %v, want %v", types, want)
+		}
+	}
+	if p.State(lineB) != StateI {
+		t.Fatal("drained far RMW did not relinquish the copy")
+	}
+
+	// And the far completion still answers the deferred waiter.
+	p.Deliver([]*coherence.Msg{{Type: coherence.MsgFarDone, Line: lineB, Src: 32, Dst: 0}})
+	if _, ok := client.resps[2]; !ok {
+		t.Fatal("deferred far RMW never completed")
+	}
+	if p.PendingWork() {
+		t.Fatal("completed far RMW still pending")
+	}
+}
+
+// TestFarRMWIssuesImmediatelyWithoutMiss pins the fast path: with no
+// same-line MSHR the far RMW must not be deferred.
+func TestFarRMWIssuesImmediatelyWithoutMiss(t *testing.T) {
+	p, net, _ := newCacheUnderTest()
+	p.Tick(1)
+	p.Access(1, lineB+512, true) // different line: no interference
+	tick(p, 2, 20)
+	net.take()
+	p.FarRMW(2, lineB)
+	sent := net.take()
+	if len(sent) != 1 || sent[0].Type != coherence.MsgGetFar {
+		t.Fatalf("far RMW on an idle line must issue at once, got %v", sent)
+	}
+}

@@ -296,6 +296,9 @@ type Private struct {
 	mshrLimit  int
 	stalled    stalledSet
 	pendingFar map[uint64][]waiter // outstanding far RMWs by line, FIFO
+	// farDeferred holds far RMWs waiting for an in-flight miss on the
+	// same line to retire before they may drop the copy and issue.
+	farDeferred map[uint64][]waiter
 
 	// waiterFree recycles the waiter slices of retired MSHRs so the
 	// steady state allocates none.
@@ -316,6 +319,10 @@ type Private struct {
 	pfDegree  int
 	pfConfMin int
 
+	// noForcedRelease suppresses the time-based forced-release sweep;
+	// the model checker fires BreakStall explicitly instead.
+	noForcedRelease bool
+
 	sink *coherence.ErrorSink
 
 	Stats Stats
@@ -325,20 +332,21 @@ type Private struct {
 func NewPrivate(coreID int, cfg *config.Config, net coherence.Network, client Client, bankOf func(uint64) int) *Private {
 	m := cfg.Mem
 	p := &Private{
-		coreID:     coreID,
-		net:        net,
-		client:     client,
-		bankOf:     bankOf,
-		l1:         sram.New(m.L1D.SizeBytes, m.L1D.Ways, m.LineBytes),
-		l2:         sram.New(m.L2.SizeBytes, m.L2.Ways, m.LineBytes),
-		lineMask:   ^uint64(m.LineBytes - 1),
-		l1Hit:      m.L1D.HitCycles,
-		l2Hit:      m.L2.HitCycles,
-		mshrLimit:  m.MSHRs,
-		pendingFar: make(map[uint64][]waiter),
-		strides:    make([]strideEntry, 64),
-		pfDegree:   m.PrefetcherDegree,
-		pfConfMin:  m.PrefetcherDistance,
+		coreID:      coreID,
+		net:         net,
+		client:      client,
+		bankOf:      bankOf,
+		l1:          sram.New(m.L1D.SizeBytes, m.L1D.Ways, m.LineBytes),
+		l2:          sram.New(m.L2.SizeBytes, m.L2.Ways, m.LineBytes),
+		lineMask:    ^uint64(m.LineBytes - 1),
+		l1Hit:       m.L1D.HitCycles,
+		l2Hit:       m.L2.HitCycles,
+		mshrLimit:   m.MSHRs,
+		pendingFar:  make(map[uint64][]waiter),
+		farDeferred: make(map[uint64][]waiter),
+		strides:     make([]strideEntry, 64),
+		pfDegree:    m.PrefetcherDegree,
+		pfConfMin:   m.PrefetcherDistance,
 	}
 	p.Stats.MissHist = stats.NewHistogram(1 << 16)
 	return p
@@ -540,9 +548,25 @@ func (p *Private) StoreComplete(line uint64) bool {
 // there (far atomics). The response arrives via Client.MemResp. Any
 // local copy is dropped first: the bank's recall would invalidate it
 // anyway, and the RMW result never migrates back.
+//
+// A far RMW issued while a miss on the same line is still in flight is
+// deferred until that miss retires. Issuing it immediately is a
+// protocol violation found by exhaustive search (rowcheck): the drop-
+// and-PutX below would relinquish a copy the outstanding GetX is about
+// to re-install, and the stale PutX then erases the directory's record
+// of the new owner — the directory ends up in dirI while this core
+// holds M.
 func (p *Private) FarRMW(tag uint64, addr uint64) {
 	line := p.Line(addr)
 	p.Stats.Accesses.Inc()
+	if p.mshrs.get(line) != nil {
+		p.farDeferred[line] = append(p.farDeferred[line], waiter{tag: tag, at: p.now})
+		return
+	}
+	p.issueFar(line, waiter{tag: tag, at: p.now})
+}
+
+func (p *Private) issueFar(line uint64, w waiter) {
 	p.l1.Invalidate(line)
 	if _, present := p.l2.Invalidate(line); present {
 		// Relinquish ownership silently; the directory treats the
@@ -552,7 +576,7 @@ func (p *Private) FarRMW(tag uint64, addr uint64) {
 			Requestor: p.coreID,
 		}))
 	}
-	p.pendingFar[line] = append(p.pendingFar[line], waiter{tag: tag, at: p.now})
+	p.pendingFar[line] = append(p.pendingFar[line], w)
 	p.net.Send(p.pool.New(coherence.Msg{
 		Type: coherence.MsgGetFar, Line: line, Src: p.coreID, Dst: p.bankOf(line),
 		Requestor: p.coreID,
@@ -727,6 +751,16 @@ func (p *Private) maybeComplete(line uint64, msp *mshr) {
 		}
 	}
 	p.putWaiters(ms.waiters)
+
+	// Release far RMWs deferred behind this miss — unless a writer
+	// just re-issued an upgrade above, in which case they stay parked
+	// behind the new MSHR.
+	if dws, ok := p.farDeferred[line]; ok && p.mshrs.get(line) == nil {
+		delete(p.farDeferred, line)
+		for _, w := range dws {
+			p.issueFar(line, w)
+		}
+	}
 }
 
 // getWaiters hands out a recycled zero-length waiter slice (nil when
@@ -801,7 +835,7 @@ func (p *Private) serveExternal(m *coherence.Msg) {
 			Requestor: m.Requestor, Grant: coherence.GrantS, FromPrivate: true,
 		}), uint64(p.l1Hit))
 	default:
-		p.fail(m, "cannot serve external request type")
+		p.fail(m, "cannot serve external request type") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 	}
 }
 
@@ -879,7 +913,7 @@ func (p *Private) Tick(cycle uint64) {
 			p.startMiss(e.tag, e.line, e.wr, e.at-e.lat)
 		}
 	}
-	for i := 0; i < p.stalled.len(); {
+	for i := 0; !p.noForcedRelease && i < p.stalled.len(); {
 		s := &p.stalled.exts[i]
 		if cycle-s.stallAt <= releaseAfter {
 			i++
@@ -904,7 +938,8 @@ func (p *Private) Tick(cycle uint64) {
 // PendingWork reports in-flight misses, queued events or stalled
 // external requests (quiescence check).
 func (p *Private) PendingWork() bool {
-	return p.mshrs.len() > 0 || len(p.events) > 0 || p.stalled.len() > 0 || len(p.pendingFar) > 0
+	return p.mshrs.len() > 0 || len(p.events) > 0 || p.stalled.len() > 0 ||
+		len(p.pendingFar) > 0 || len(p.farDeferred) > 0
 }
 
 // RetainedMsgs counts the external requests parked in the stalled

@@ -213,7 +213,7 @@ func (d *Directory) handle(m *Msg) bool {
 	case MsgData:
 		d.farData(m)
 	default:
-		d.fail(m, d.lines[m.Line], "unexpected message type")
+		d.fail(m, d.lines[m.Line], "unexpected message type") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 	}
 	return true
 }
@@ -234,7 +234,7 @@ func (d *Directory) serve(m *Msg, e *dirEntry) {
 	case MsgGetFar:
 		d.serveGetFar(m, e)
 	default:
-		d.fail(m, e, "cannot serve queued message type")
+		d.fail(m, e, "cannot serve queued message type") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 	}
 }
 
@@ -289,7 +289,7 @@ func (d *Directory) serveGetFar(m *Msg, e *dirEntry) {
 func (d *Directory) farAck(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked || !e.pend.far {
-		d.fail(m, e, "stray InvAck: no far recall in flight")
+		d.fail(m, e, "stray InvAck: no far recall in flight") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 		return
 	}
 	e.pend.farAcks--
@@ -302,7 +302,7 @@ func (d *Directory) farAck(m *Msg) {
 func (d *Directory) farData(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked || !e.pend.far || !e.pend.farData {
-		d.fail(m, e, "stray Data: no far recall awaiting owner data")
+		d.fail(m, e, "stray Data: no far recall awaiting owner data") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 		return
 	}
 	e.pend.farData = false
@@ -436,7 +436,7 @@ func (d *Directory) handlePutX(m *Msg, e *dirEntry) {
 func (d *Directory) handleUnblock(m *Msg) {
 	e, ok := d.lines[m.Line]
 	if !ok || !e.blocked {
-		d.fail(m, e, "Unblock for a line with no transaction in flight")
+		d.fail(m, e, "Unblock for a line with no transaction in flight") //rowlint:ignore noalloc fatal protocol-error path; the run is already over
 		return
 	}
 	if m.Src != e.pend.requestor {

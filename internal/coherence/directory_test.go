@@ -1,6 +1,7 @@
 package coherence
 
 import (
+	"strings"
 	"testing"
 )
 
@@ -255,5 +256,151 @@ func TestStatsCounting(t *testing.T) {
 	}
 	if d.Stats.Forwards.Value() != 1 {
 		t.Fatalf("forwards = %d, want 1", d.Stats.Forwards.Value())
+	}
+}
+
+// Near-miss scenarios: each case drives the directory to the edge of a
+// state the model checker (internal/mcheck) proved reachable, where one
+// wrong transition would corrupt the protocol, and pins the correct
+// behaviour. The steps closure plays the scenario; check inspects the
+// tail of the message stream (and the error sink, where the correct
+// behaviour IS the diagnostic).
+func TestNearMissScenarios(t *testing.T) {
+	cases := []struct {
+		name  string
+		steps func(d *Directory, net *fakeNet)
+		check func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink)
+	}{
+		{
+			// A read arriving during another core's write transaction
+			// must wait for the UnblockX, then be forwarded to the new
+			// owner — serving it early would hand out data the writer
+			// is about to clobber.
+			name: "gets-while-blocked-queued",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(getX(0))
+				net.take()
+				d.Handle(getS(1))
+				if len(net.take()) != 0 {
+					t.Fatal("GetS served during a blocked write transaction")
+				}
+				d.Handle(unblockX(0))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				if len(sent) != 1 || sent[0].Type != MsgFwdGetS || sent[0].Dst != 0 || sent[0].Requestor != 1 {
+					t.Fatalf("queued GetS not forwarded to the new owner: %v", sent)
+				}
+			},
+		},
+		{
+			// The recorded owner re-requesting exclusively after a
+			// silent clean eviction must be re-supplied from the L3 —
+			// forwarding to itself would deadlock the transaction.
+			name: "getx-from-owner-resupplied",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(getX(2))
+				net.take()
+				d.Handle(unblockX(2))
+				d.Handle(getX(2))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				if len(sent) != 1 || sent[0].Type != MsgData || sent[0].Dst != 2 || sent[0].Grant != GrantM {
+					t.Fatalf("owner re-request not re-supplied: %v", sent)
+				}
+			},
+		},
+		{
+			// A sharer upgrading must invalidate every OTHER sharer and
+			// never itself; the ack count must match the Inv fan-out.
+			name: "upgrade-skips-requestor",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(getS(0))
+				net.take()
+				d.Handle(unblock(0, GrantS))
+				d.Handle(getS(1))
+				net.take()
+				d.Handle(unblock(1, GrantS))
+				d.Handle(getX(1))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				var invs, data []*Msg
+				for _, m := range sent {
+					switch m.Type {
+					case MsgInv:
+						invs = append(invs, m)
+					case MsgData:
+						data = append(data, m)
+					}
+				}
+				if len(invs) != 1 || invs[0].Dst != 0 {
+					t.Fatalf("upgrade invalidations wrong: %v", sent)
+				}
+				if len(data) != 1 || data[0].AckCount != 1 {
+					t.Fatalf("upgrade grant acks wrong: %v", sent)
+				}
+			},
+		},
+		{
+			// A writeback from a core that is no longer the owner must
+			// be dropped without touching the entry (the line moved on
+			// while the PutX was in flight).
+			name: "stale-putx-ignored-in-shared",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(getX(0))
+				net.take()
+				d.Handle(unblockX(0))
+				d.Handle(getS(1))
+				net.take()
+				d.Handle(unblock(1, GrantS)) // M owner downgraded: dirS {0,1}
+				d.Handle(&Msg{Type: MsgPutX, Line: lineA, Src: 0, Dst: 32})
+				d.Handle(getS(2))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				if len(sent) != 1 || sent[0].Type != MsgData || sent[0].Grant != GrantS {
+					t.Fatalf("stale PutX in dirS corrupted the entry: %v", sent)
+				}
+			},
+		},
+		{
+			// An Unblock from a core that is not the pending requestor
+			// is a protocol violation and must be diagnosed, not
+			// absorbed into the wrong transaction.
+			name: "unblock-from-wrong-core-diagnosed",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(getX(0))
+				net.take()
+				d.Handle(unblockX(3))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				e := sink.Err()
+				if e == nil {
+					t.Fatal("wrong-core Unblock accepted silently")
+				}
+				if !strings.Contains(e.Reason, "pending requestor") {
+					t.Fatalf("unexpected diagnosis: %v", e)
+				}
+			},
+		},
+		{
+			// An Unblock with no transaction in flight is equally fatal.
+			name: "unblock-without-transaction-diagnosed",
+			steps: func(d *Directory, net *fakeNet) {
+				d.Handle(unblockX(0))
+			},
+			check: func(t *testing.T, d *Directory, sent []*Msg, sink *ErrorSink) {
+				if sink.Err() == nil {
+					t.Fatal("stray Unblock accepted silently")
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d, net := newDirUnderTest()
+			sink := &ErrorSink{}
+			d.SetErrorSink(sink)
+			tc.steps(d, net)
+			tc.check(t, d, net.take(), sink)
+		})
 	}
 }

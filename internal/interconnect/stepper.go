@@ -1,0 +1,230 @@
+package interconnect
+
+import (
+	"sort"
+
+	"rowsim/internal/coherence"
+)
+
+// This file is the mesh's half of the deterministic "choice point"
+// interface the model checker (internal/mcheck) drives. In normal
+// simulation, delivery order is fixed by the timing model: Tick moves
+// every message whose arrival cycle has passed. The checker instead
+// wants to explore every delivery order the protocol must tolerate, so
+// it bypasses Tick entirely: it asks which queued messages are
+// eligible to fire next under an ordering discipline, picks one, and
+// extracts it with TakeSeq for direct hand-off to the destination
+// (Directory.Handle / Private.Deliver). Messages never transit the
+// inboxes in this mode.
+//
+// Two ordering disciplines bound the legal delivery orders:
+//
+//   - per-channel FIFO: each (src,dst) channel delivers in send order,
+//     but channels interleave freely. This is what the timed mesh
+//     guarantees under fault injection (lastAt), and what the fault
+//     injector's legal reorderings can produce across channels.
+//   - global FIFO: the single send-order interleaving, the most
+//     conservative network (no reordering anywhere).
+//
+// The timed mesh without faults sits between the two: unequal
+// source-side delays can reorder a channel, but only by bounded
+// amounts. Checking the per-channel-FIFO envelope covers every order
+// the timed model can produce across channels.
+
+// Deliverable identifies one queued message eligible to fire next.
+type Deliverable struct {
+	Seq      uint64
+	Src, Dst int
+}
+
+// Deliverables appends to dst the messages eligible for out-of-band
+// delivery, in ascending send (seq) order. With perChannel true every
+// channel's oldest message is eligible; otherwise only the globally
+// oldest is. The result identifies choices for TakeSeq.
+func (m *Mesh) Deliverables(perChannel bool, dst []Deliverable) []Deliverable {
+	dst = dst[:0]
+	if len(m.events) == 0 {
+		return dst
+	}
+	if !perChannel {
+		best := 0
+		for i := range m.events {
+			if m.events[i].seq < m.events[best].seq {
+				best = i
+			}
+		}
+		e := &m.events[best]
+		return append(dst, Deliverable{Seq: e.seq, Src: e.msg.Src, Dst: e.msg.Dst})
+	}
+	// Oldest per (src,dst) channel. A flat table over node pairs keeps
+	// the scan deterministic (no map iteration).
+	heads := make([]int, m.nodes*m.nodes)
+	for i := range heads {
+		heads[i] = -1
+	}
+	for i := range m.events {
+		ch := m.events[i].msg.Src*m.nodes + m.events[i].msg.Dst
+		if heads[ch] < 0 || m.events[i].seq < m.events[heads[ch]].seq {
+			heads[ch] = i
+		}
+	}
+	for _, idx := range heads {
+		if idx < 0 {
+			continue
+		}
+		e := &m.events[idx]
+		dst = append(dst, Deliverable{Seq: e.seq, Src: e.msg.Src, Dst: e.msg.Dst})
+	}
+	sort.Slice(dst, func(i, j int) bool { return dst[i].Seq < dst[j].Seq })
+	return dst
+}
+
+// TakeSeq removes the queued message with the given send sequence and
+// returns it, or nil when no such message is queued. Ownership of the
+// message transfers to the caller, which must deliver it to its
+// destination (the destination's handler consumes or retains it under
+// the usual pool discipline).
+func (m *Mesh) TakeSeq(seq uint64) *coherence.Msg {
+	idx := -1
+	for i := range m.events {
+		if m.events[i].seq == seq {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
+		return nil
+	}
+	msg := m.events[idx].msg
+	n := len(m.events) - 1
+	m.events[idx] = m.events[n]
+	m.events[n] = event{}
+	m.events = m.events[:n]
+	if idx < n {
+		m.events.siftDown(idx)
+		m.events.siftUp(idx)
+	}
+	return msg
+}
+
+func (h eventHeap) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (h eventHeap) siftDown(i int) {
+	n := len(h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+}
+
+// ForEachPending calls fn for every queued (not yet delivered) message
+// in ascending send order. Checkers use it to encode the network's
+// state; fn must not mutate the message.
+func (m *Mesh) ForEachPending(fn func(seq uint64, msg *coherence.Msg)) {
+	idx := make([]int, len(m.events))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return m.events[idx[a]].seq < m.events[idx[b]].seq })
+	for _, i := range idx {
+		fn(m.events[i].seq, m.events[i].msg)
+	}
+}
+
+// MeshEventSnap is one queued delivery, message copied by value.
+type MeshEventSnap struct {
+	At, Seq uint64
+	Msg     coherence.Msg
+}
+
+// MeshSnap is a deep copy of the mesh's mutable delivery state. The
+// diagnostic trace ring is excluded: it feeds error reports only and
+// never protocol decisions.
+type MeshSnap struct {
+	Now, Seq uint64
+	Events   []MeshEventSnap
+	Inboxes  [][]coherence.Msg
+	LastAt   []uint64
+
+	Messages, HopsSum, Dropped, Dupes uint64
+}
+
+// Snapshot captures the queued events, inboxes and counters. Events
+// are stored in heap-array order, so Restore rebuilds an identical
+// heap by copying them back in place.
+func (m *Mesh) Snapshot() MeshSnap {
+	s := MeshSnap{
+		Now: m.now, Seq: m.seq,
+		Messages: m.messages, HopsSum: m.hopsSum, Dropped: m.dropped, Dupes: m.dupes,
+	}
+	for i := range m.events {
+		s.Events = append(s.Events, MeshEventSnap{At: m.events[i].at, Seq: m.events[i].seq, Msg: *m.events[i].msg})
+	}
+	if len(m.inboxes) > 0 {
+		s.Inboxes = make([][]coherence.Msg, len(m.inboxes))
+		for n, in := range m.inboxes {
+			for _, msg := range in {
+				s.Inboxes[n] = append(s.Inboxes[n], *msg)
+			}
+		}
+	}
+	if m.lastAt != nil {
+		s.LastAt = append([]uint64(nil), m.lastAt...)
+	}
+	return s
+}
+
+// Restore rewinds the mesh to a previously captured MeshSnap. Queued
+// messages are reconstituted as fresh allocations, never drawn from
+// the pool: the pool's counters are restored separately, and a Get
+// here would double-count the in-flight population.
+func (m *Mesh) Restore(s MeshSnap) {
+	m.now, m.seq = s.Now, s.Seq
+	m.messages, m.hopsSum, m.dropped, m.dupes = s.Messages, s.HopsSum, s.Dropped, s.Dupes
+	m.events = m.events[:0]
+	for i := range s.Events {
+		msg := new(coherence.Msg)
+		*msg = s.Events[i].Msg
+		m.events = append(m.events, event{at: s.Events[i].At, seq: s.Events[i].Seq, msg: msg})
+	}
+	for n := range m.inboxes {
+		m.inboxes[n] = m.inboxes[n][:0]
+	}
+	for n, in := range s.Inboxes {
+		for i := range in {
+			msg := new(coherence.Msg)
+			*msg = in[i]
+			m.inboxes[n] = append(m.inboxes[n], msg)
+		}
+	}
+	if s.LastAt != nil {
+		if m.lastAt == nil {
+			m.lastAt = make([]uint64, len(s.LastAt))
+		}
+		copy(m.lastAt, s.LastAt)
+	} else if m.lastAt != nil {
+		for i := range m.lastAt {
+			m.lastAt[i] = 0
+		}
+	}
+}

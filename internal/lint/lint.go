@@ -87,6 +87,10 @@ var DeterministicPackages = map[string]bool{
 	"interconnect": true,
 	"predictor":    true,
 	"workload":     true,
+	// The model checker's explored-state counts are compared across
+	// runs and hosts in CI; its search order may not depend on map
+	// iteration or wall clocks any more than the simulator may.
+	"mcheck": true,
 }
 
 // Deterministic reports whether the pass's package is part of the

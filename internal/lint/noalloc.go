@@ -1,9 +1,11 @@
 package lint
 
 import (
+	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"strings"
 )
 
 // NoAlloc enforces hot-path purity: a function whose doc comment
@@ -21,87 +23,194 @@ import (
 //   - interface boxing: passing, assigning or converting a concrete
 //     value into an interface, and panic (its operand is boxed)
 //
-// The analysis is intraprocedural: calls into non-annotated functions
-// are trusted (annotate the callee too if it is on the hot path).
-// Cold branches inside a hot function — error reporting, lazy
-// initialization — carry //rowlint:ignore noalloc <reason>.
+// The analysis propagates one level through the package's call graph:
+// a //rowlint:noalloc function calling a same-package callee that is
+// itself not annotated is checked against the callee's body — a callee
+// containing allocation-prone constructs is reported at the call site.
+// Annotated callees are trusted here (they are checked in full on
+// their own); cross-package and interface calls are trusted too, and
+// propagation is deliberately one level deep so a finding is always
+// either in the annotated function or one call away from it. Cold
+// branches inside a hot function — error reporting, lazy
+// initialization — carry //rowlint:ignore noalloc <reason>; an
+// allocating callee is fixed by annotating it (and suppressing inside
+// it where justified) or by hoisting the call off the hot path.
 var NoAlloc = &Analyzer{
 	Name: "noalloc",
-	Doc:  "bans allocation-prone constructs in //rowlint:noalloc functions",
+	Doc:  "bans allocation-prone constructs in //rowlint:noalloc functions and their direct callees",
 	Run:  runNoAlloc,
 }
 
+// reporter abstracts the finding sink so the same construct walk both
+// reports (annotated functions) and probes (their callees).
+type reporter func(pos token.Pos, format string, args ...any)
+
 func runNoAlloc(pass *Pass) {
+	decls := packageFuncDecls(pass.Pkg)
 	for _, f := range pass.Pkg.Files {
 		for _, decl := range f.Decls {
 			fd, ok := decl.(*ast.FuncDecl)
 			if !ok || fd.Body == nil || !funcHasNoallocAnnotation(fd) {
 				continue
 			}
-			checkNoAlloc(pass, fd)
+			walkAllocs(pass.Pkg, fd, pass.Reportf)
+			checkCallees(pass, fd, decls)
 		}
 	}
 }
 
-func checkNoAlloc(pass *Pass, fd *ast.FuncDecl) {
+// packageFuncDecls indexes the package's function and method
+// declarations by their type-checker objects, for call-site resolution.
+func packageFuncDecls(pkg *Package) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	if pkg.Info == nil {
+		return decls
+	}
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+				decls[obj] = fd
+			}
+		}
+	}
+	return decls
+}
+
+// checkCallees is the interprocedural step: every same-package callee
+// of an annotated function that is not itself annotated is probed for
+// allocation-prone constructs, and a hit is reported at the call site.
+func checkCallees(pass *Pass, fd *ast.FuncDecl, decls map[*types.Func]*ast.FuncDecl) {
 	pkg := pass.Pkg
 	ast.Inspect(fd.Body, func(n ast.Node) bool {
-		switch n := n.(type) {
-		case *ast.CallExpr:
-			checkNoAllocCall(pass, fd, n)
-		case *ast.FuncLit:
-			if capt := capturedLocal(pkg, fd, n); capt != "" {
-				pass.Reportf(n.Pos(), "closure captures local %q and may allocate; hoist the state or pass it explicitly", capt)
-			}
-		case *ast.CompositeLit:
-			if t := pkg.TypeOf(n); t != nil {
-				switch t.Underlying().(type) {
-				case *types.Slice:
-					pass.Reportf(n.Pos(), "slice literal allocates; reuse a recycled buffer")
-				case *types.Map:
-					pass.Reportf(n.Pos(), "map literal allocates; hoist it to a package-level table")
-				}
-			}
-		case *ast.AssignStmt:
-			checkNoAllocBoxing(pass, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		callee := calleeDecl(pkg, call, decls)
+		if callee == nil || callee == fd || funcHasNoallocAnnotation(callee) {
+			return true
+		}
+		if msg := probeAllocs(pkg, callee); msg.text != "" {
+			pass.Reportf(call.Pos(), "call to %s, which allocates (%s at line %d); annotate the callee //rowlint:noalloc or move the call off the hot path",
+				callee.Name.Name, msg.text, msg.line)
 		}
 		return true
 	})
 }
 
-// checkNoAllocCall handles the call-shaped bans: fmt, make/new, panic,
+// calleeDecl resolves a call expression to a function or method
+// declared in this package (nil for builtins, interface methods,
+// function values and cross-package calls — all trusted).
+func calleeDecl(pkg *Package, call *ast.CallExpr, decls map[*types.Func]*ast.FuncDecl) *ast.FuncDecl {
+	if pkg.Info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	obj, ok := pkg.Info.Uses[id].(*types.Func)
+	if !ok {
+		return nil
+	}
+	return decls[obj]
+}
+
+// probed is the first allocation-prone construct found in a callee.
+type probed struct {
+	text string
+	line int
+}
+
+// probeAllocs walks a non-annotated callee and returns its first
+// allocation-prone construct (zero value when clean). Suppression
+// directives inside the callee are not consulted: suppression belongs
+// with an annotation, so the fix for a justified hit is to annotate
+// the callee and carry the //rowlint:ignore there.
+func probeAllocs(pkg *Package, fd *ast.FuncDecl) probed {
+	var first probed
+	walkAllocs(pkg, fd, func(pos token.Pos, format string, args ...any) {
+		if first.text != "" {
+			return
+		}
+		msg := fmt.Sprintf(format, args...)
+		// Keep only the construct name: the advice half of the message
+		// addresses the annotated-function case, not the call site.
+		if i := strings.Index(msg, ";"); i >= 0 {
+			msg = msg[:i]
+		}
+		first = probed{text: msg, line: pkg.Fset.Position(pos).Line}
+	})
+	return first
+}
+
+// walkAllocs reports every allocation-prone construct in fd's body.
+func walkAllocs(pkg *Package, fd *ast.FuncDecl, report reporter) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			checkAllocCall(pkg, fd, n, report)
+		case *ast.FuncLit:
+			if capt := capturedLocal(pkg, fd, n); capt != "" {
+				report(n.Pos(), "closure captures local %q and may allocate; hoist the state or pass it explicitly", capt)
+			}
+		case *ast.CompositeLit:
+			if t := pkg.TypeOf(n); t != nil {
+				switch t.Underlying().(type) {
+				case *types.Slice:
+					report(n.Pos(), "slice literal allocates; reuse a recycled buffer")
+				case *types.Map:
+					report(n.Pos(), "map literal allocates; hoist it to a package-level table")
+				}
+			}
+		case *ast.AssignStmt:
+			checkAllocBoxing(pkg, n, report)
+		}
+		return true
+	})
+}
+
+// checkAllocCall handles the call-shaped bans: fmt, make/new, panic,
 // append to unsized locals, and boxing at call boundaries.
-func checkNoAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
-	pkg := pass.Pkg
+func checkAllocCall(pkg *Package, fd *ast.FuncDecl, call *ast.CallExpr, report reporter) {
 	switch fun := call.Fun.(type) {
 	case *ast.Ident:
 		switch fun.Name {
 		case "make":
 			if isBuiltin(pkg, fun) {
-				pass.Reportf(call.Pos(), "make allocates; hoist the allocation out of the hot path or recycle")
+				report(call.Pos(), "make allocates; hoist the allocation out of the hot path or recycle")
 				return
 			}
 		case "new":
 			if isBuiltin(pkg, fun) {
-				pass.Reportf(call.Pos(), "new allocates; recycle through a free list instead")
+				report(call.Pos(), "new allocates; recycle through a free list instead")
 				return
 			}
 		case "panic":
 			if isBuiltin(pkg, fun) {
-				pass.Reportf(call.Pos(), "panic boxes its operand; raise a structured error on the cold path instead")
+				report(call.Pos(), "panic boxes its operand; raise a structured error on the cold path instead")
 				return
 			}
 		case "append":
 			if isBuiltin(pkg, fun) && len(call.Args) > 0 {
 				if dst, ok := call.Args[0].(*ast.Ident); ok && unsizedLocalSlice(pkg, fd, dst) {
-					pass.Reportf(call.Pos(), "append grows local slice %q declared without capacity; recycle a buffer or hoist a pre-sized one", dst.Name)
+					report(call.Pos(), "append grows local slice %q declared without capacity; recycle a buffer or hoist a pre-sized one", dst.Name)
 				}
 				return
 			}
 		}
 	case *ast.SelectorExpr:
 		if id, ok := fun.X.(*ast.Ident); ok && isPackage(pkg, id, "fmt") {
-			pass.Reportf(call.Pos(), "fmt.%s formats through interfaces and allocates; keep formatting off the hot path", fun.Sel.Name)
+			report(call.Pos(), "fmt.%s formats through interfaces and allocates; keep formatting off the hot path", fun.Sel.Name)
 			return
 		}
 	}
@@ -109,7 +218,7 @@ func checkNoAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	if pkg.Info != nil {
 		if tv, ok := pkg.Info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
 			if boxes(tv.Type, pkg.TypeOf(call.Args[0])) {
-				pass.Reportf(call.Pos(), "conversion boxes a concrete value into interface %s and may allocate", tv.Type.String())
+				report(call.Pos(), "conversion boxes a concrete value into interface %s and may allocate", tv.Type.String())
 			}
 			return
 		}
@@ -123,7 +232,7 @@ func checkNoAllocCall(pass *Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
 	for i, arg := range call.Args {
 		pt := paramTypeAt(sig, i, call.Ellipsis != token.NoPos)
 		if boxes(pt, pkg.TypeOf(arg)) {
-			pass.Reportf(arg.Pos(), "argument boxes a concrete value into interface %s and may allocate", pt.String())
+			report(arg.Pos(), "argument boxes a concrete value into interface %s and may allocate", pt.String())
 		}
 	}
 }
@@ -152,16 +261,16 @@ func paramTypeAt(sig *types.Signature, i int, ellipsis bool) types.Type {
 	return nil
 }
 
-// checkNoAllocBoxing flags assignments storing a concrete value into an
+// checkAllocBoxing flags assignments storing a concrete value into an
 // interface-typed destination.
-func checkNoAllocBoxing(pass *Pass, asg *ast.AssignStmt) {
+func checkAllocBoxing(pkg *Package, asg *ast.AssignStmt, report reporter) {
 	if len(asg.Lhs) != len(asg.Rhs) {
 		return
 	}
 	for i := range asg.Lhs {
-		dt := pass.Pkg.TypeOf(asg.Lhs[i])
-		if boxes(dt, pass.Pkg.TypeOf(asg.Rhs[i])) {
-			pass.Reportf(asg.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s and may allocate", dt.String())
+		dt := pkg.TypeOf(asg.Lhs[i])
+		if boxes(dt, pkg.TypeOf(asg.Rhs[i])) {
+			report(asg.Rhs[i].Pos(), "assignment boxes a concrete value into interface %s and may allocate", dt.String())
 		}
 	}
 }

@@ -92,3 +92,37 @@ func (c *Ctl) ColdReport() string {
 	all := map[string]int{"hits": c.hits}
 	return fmt.Sprint(all)
 }
+
+// growBuf is a non-annotated helper that allocates: calling it from a
+// hot function is flagged at the call site (one-level propagation).
+func (c *Ctl) growBuf() {
+	c.buf = make([]uint64, 0, 64)
+}
+
+// countHits is a non-annotated helper that is allocation-free: calling
+// it from a hot function is fine.
+func (c *Ctl) countHits() int {
+	return c.hits
+}
+
+// annotatedHelper allocates but is itself annotated (with its own
+// suppression): the caller trusts it, the helper's own check governs.
+//
+//rowlint:noalloc
+func (c *Ctl) annotatedHelper() {
+	if c.buf == nil {
+		c.buf = make([]uint64, 0, 8) //rowlint:ignore noalloc one-time lazy init, amortized to zero
+	}
+}
+
+// HotCallsHelpers exercises the interprocedural step: the allocating
+// non-annotated callee is flagged, the clean and the annotated ones
+// are not, and a justified hit is suppressible at the call site.
+//
+//rowlint:noalloc
+func (c *Ctl) HotCallsHelpers() int {
+	c.growBuf() // want: noalloc call to growBuf
+	c.annotatedHelper()
+	c.growBuf() //rowlint:ignore noalloc cold branch: only taken on the first access
+	return c.countHits()
+}

@@ -1,0 +1,110 @@
+package mcheck
+
+// Depth-first exhaustive search over the choice tree with canonical
+// state memoization. Each DFS node snapshots the full component stack,
+// tries every enabled choice in deterministic order, and restores the
+// snapshot between siblings; the visited set prunes states already
+// explored under any admissible relabeling, which is what makes the
+// search terminate (reissue loops revisit canonical states).
+
+type searcher struct {
+	m       *Model
+	perms   []perm
+	visited map[[2]uint64]struct{}
+	stats   Stats
+	viol    *InvariantError
+}
+
+// Check exhaustively explores the configuration and returns the search
+// statistics plus the first invariant violation found (shrunk to a
+// minimal choice trace), or a nil violation when the explored space is
+// clean. A truncated search (MaxStates or StopAfter) is reported in
+// Stats.Truncated and proves nothing about the unexplored remainder.
+func Check(cfg Config) (*Result, error) {
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		m:       m,
+		perms:   buildPerms(&m.cfg),
+		visited: make(map[[2]uint64]struct{}),
+	}
+	m.settle()
+	m.checkState()
+	if m.viol == nil {
+		s.dfs(0)
+	} else {
+		s.capture()
+	}
+	res := &Result{Stats: s.stats}
+	if s.viol != nil {
+		s.viol.Trace = shrinkTrace(m.cfg, s.viol.Kind, s.viol.Trace)
+		s.viol.Spec = FormatSpec(m.cfg, s.viol.Trace)
+		res.Violation = s.viol
+	}
+	return res, nil
+}
+
+func (s *searcher) truncated() bool {
+	if s.m.cfg.MaxStates > 0 && s.stats.Visited >= s.m.cfg.MaxStates {
+		return true
+	}
+	if s.m.cfg.StopAfter != nil && s.stats.Visited&0x3ff == 0 && s.m.cfg.StopAfter() {
+		return true
+	}
+	return false
+}
+
+func (s *searcher) capture() {
+	v := s.m.viol
+	v.Trace = append([]string(nil), s.m.trace...)
+	s.viol = v
+}
+
+// dfs explores the current (settled, already invariant-checked) state.
+// It returns false to unwind the whole search (violation found or
+// search truncated).
+func (s *searcher) dfs(depth int) bool {
+	key := s.m.stateKey(s.perms)
+	if _, seen := s.visited[key]; seen {
+		return true
+	}
+	s.visited[key] = struct{}{}
+	s.stats.Visited++
+	if depth > s.stats.MaxDepth {
+		s.stats.MaxDepth = depth
+	}
+	if s.truncated() {
+		s.stats.Truncated = true
+		return false
+	}
+	choices := s.m.enabled(nil)
+	if len(choices) == 0 {
+		s.m.checkTerminal()
+		if s.m.viol != nil {
+			s.capture()
+			s.m.viol = nil
+			return false
+		}
+		return true
+	}
+	snap := s.m.snapshot()
+	for _, ch := range choices {
+		s.m.trace = append(s.m.trace, ch.label())
+		ok := s.m.apply(ch)
+		s.stats.Transitions++
+		if !ok {
+			s.capture()
+			s.m.viol = nil
+			return false
+		}
+		cont := s.dfs(depth + 1)
+		s.m.trace = s.m.trace[:len(s.m.trace)-1]
+		s.m.restore(snap)
+		if !cont {
+			return false
+		}
+	}
+	return true
+}

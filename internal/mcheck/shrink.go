@@ -1,0 +1,100 @@
+package mcheck
+
+// Witness shrinking: ddmin over the choice-label sequence. A candidate
+// subsequence is replayed leniently — labels that are not enabled at
+// their turn are skipped — and passes when the same invariant class
+// fires. Because a lenient replay records exactly the labels it
+// applied, every passing candidate collapses to a strictly replayable
+// trace for free, so the final witness needs no repair pass: each of
+// its labels is enabled in turn and the model is deterministic given
+// the choices.
+
+// replayLenient applies as much of the trace as is enabled, in order,
+// and returns the labels actually applied plus the violation (nil when
+// none fired). Terminal invariants are checked when the trace ends
+// with no choices enabled.
+func replayLenient(cfg Config, trace []string) ([]string, *InvariantError) {
+	m, err := NewModel(cfg)
+	if err != nil {
+		return nil, nil
+	}
+	m.settle()
+	m.checkState()
+	var applied []string
+	for _, lab := range trace {
+		if m.viol != nil {
+			break
+		}
+		ch, ok := m.findChoice(lab)
+		if !ok {
+			continue
+		}
+		m.apply(ch)
+		applied = append(applied, lab)
+	}
+	if m.viol == nil && len(m.enabled(nil)) == 0 {
+		m.checkTerminal()
+	}
+	return applied, m.viol
+}
+
+// findChoice resolves a label against the currently enabled choices.
+func (m *Model) findChoice(label string) (choice, bool) {
+	for _, ch := range m.enabled(nil) {
+		if ch.label() == label {
+			return ch, true
+		}
+	}
+	return choice{}, false
+}
+
+// shrinkTrace minimizes a violating trace with ddmin: split into n
+// chunks, try dropping each, refine granularity when nothing drops.
+func shrinkTrace(cfg Config, kind string, trace []string) []string {
+	test := func(cand []string) ([]string, bool) {
+		applied, viol := replayLenient(cfg, cand)
+		if viol != nil && viol.Kind == kind {
+			return applied, true
+		}
+		return nil, false
+	}
+	cur, ok := test(trace)
+	if !ok {
+		// The full trace must reproduce (the search just ran it); if
+		// replay disagrees something is nondeterministic — return the
+		// original rather than a bogus shrink.
+		return trace
+	}
+	n := 2
+	for len(cur) >= 2 {
+		chunk := (len(cur) + n - 1) / n
+		reduced := false
+		for i := 0; i < len(cur); i += chunk {
+			end := i + chunk
+			if end > len(cur) {
+				end = len(cur)
+			}
+			cand := make([]string, 0, len(cur)-(end-i))
+			cand = append(cand, cur[:i]...)
+			cand = append(cand, cur[end:]...)
+			if applied, ok := test(cand); ok {
+				cur = applied
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(cur) {
+				break
+			}
+			n *= 2
+			if n > len(cur) {
+				n = len(cur)
+			}
+		}
+	}
+	return cur
+}

@@ -3,6 +3,7 @@ package torture
 import (
 	"testing"
 
+	"rowsim/internal/mcheck"
 	"rowsim/internal/sim"
 )
 
@@ -12,5 +13,14 @@ func TestClassifyMsgLeak(t *testing.T) {
 	err := &sim.MsgLeakError{Cycle: 42, Outstanding: 3, InFlight: 1, Retained: 1}
 	if kind := Classify(err); kind != "msg-leak" {
 		t.Fatalf("Classify(MsgLeakError) = %q, want \"msg-leak\"", kind)
+	}
+}
+
+// TestClassifyMcheckInvariant: model-checker counterexamples replayed
+// through the torture CLI are classified distinctly.
+func TestClassifyMcheckInvariant(t *testing.T) {
+	err := &mcheck.InvariantError{Kind: "swmr", Detail: "two writers"}
+	if kind := Classify(err); kind != "mcheck-invariant" {
+		t.Fatalf("Classify(InvariantError) = %q, want \"mcheck-invariant\"", kind)
 	}
 }

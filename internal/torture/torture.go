@@ -21,6 +21,7 @@ import (
 	"rowsim/internal/experiments"
 	"rowsim/internal/faults"
 	"rowsim/internal/lifecycle"
+	"rowsim/internal/mcheck"
 	"rowsim/internal/sim"
 	"rowsim/internal/workload"
 	"rowsim/internal/xrand"
@@ -229,7 +230,7 @@ type Failure struct {
 	Index int // run index within the sweep
 	Spec  RunSpec
 	Err   error
-	Kind  string // protocol | deadlock | cycle-limit | coherence | msg-leak | replay-mismatch | panic | timeout | setup
+	Kind  string // protocol | deadlock | cycle-limit | coherence | msg-leak | replay-mismatch | mcheck-invariant | panic | timeout | setup
 }
 
 // Classify names the failure mode of a run error.
@@ -241,9 +242,12 @@ func Classify(err error) string {
 	var le *sim.MsgLeakError
 	var re *ReplayMismatchError
 	var rp *lifecycle.RunPanicError
+	var me *mcheck.InvariantError
 	switch {
 	case errors.As(err, &re):
 		return "replay-mismatch"
+	case errors.As(err, &me):
+		return "mcheck-invariant"
 	case errors.As(err, &pe):
 		return "protocol"
 	case errors.As(err, &de):
