@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"syscall"
 
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
@@ -49,7 +50,9 @@ func run() (code int) {
 	)
 	flag.Parse()
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// os.Interrupt covers Ctrl-C; SIGTERM is what containers and
+	// orchestrators send — both get the same graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	r := experiments.NewRunner(experiments.Options{

@@ -18,6 +18,7 @@ import (
 	"os"
 	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"rowsim/internal/experiments"
@@ -102,7 +103,9 @@ func run() (code int) {
 		return runBenchSuite(*benchJSON, *benchBase, *maxRegress, *jobs, *quiet)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// os.Interrupt covers Ctrl-C; SIGTERM is what containers and
+	// orchestrators send — both get the same graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	opt := experiments.Options{Cores: *cores, Instrs: *instrs, Seed: *seed}

@@ -30,26 +30,17 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"syscall"
 
 	"rowsim/internal/config"
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
 	"rowsim/internal/profiling"
+	"rowsim/internal/serve"
 	"rowsim/internal/sim"
 	"rowsim/internal/stats"
 	"rowsim/internal/workload"
 )
-
-// parameter applies one sweep value to the workload parameters.
-var parameters = map[string]func(*workload.Params, float64){
-	"atomics10k":  func(p *workload.Params, v float64) { p.AtomicsPer10K = v },
-	"sharedfrac":  func(p *workload.Params, v float64) { p.SharedFrac = v },
-	"hotlines":    func(p *workload.Params, v float64) { p.HotLines = int(v) },
-	"storebefore": func(p *workload.Params, v float64) { p.StoreBefore = v },
-	"workingset":  func(p *workload.Params, v float64) { p.WorkingSet = int(v) },
-	"depmean":     func(p *workload.Params, v float64) { p.DepMean = v },
-	"addrindep":   func(p *workload.Params, v float64) { p.AddrIndep = v },
-}
 
 // policies are the three configurations each sweep cell compares.
 var policies = []struct {
@@ -68,7 +59,7 @@ func main() {
 func run() int {
 	var (
 		name    = flag.String("workload", "sps", "base workload")
-		param   = flag.String("param", "sharedfrac", "parameter to sweep: atomics10k, sharedfrac, hotlines, storebefore, workingset, depmean, addrindep")
+		param   = flag.String("param", "sharedfrac", "parameter to sweep: "+strings.Join(serve.ParamNames(), ", "))
 		values  = flag.String("values", "0.1,0.5,0.9", "comma-separated sweep values")
 		cores   = flag.Int("cores", 32, "number of cores")
 		instrs  = flag.Int("instrs", 8000, "instructions per core")
@@ -104,7 +95,9 @@ func run() int {
 		*seed = experiments.DefaultSeed
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// os.Interrupt covers Ctrl-C; SIGTERM is what containers and
+	// orchestrators send — both get the same graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *deadlin > 0 {
 		var cancel context.CancelFunc
@@ -123,9 +116,32 @@ func run() int {
 			fmt.Fprintln(os.Stderr, err)
 			return 2
 		}
-		// The journal's meta record is the sweep definition; flags
-		// like -timeout/-deadline/-retries still come from the line.
+		// The meta record carries a hash of the sweep definition; a
+		// journal whose meta no longer hashes to it was edited or
+		// written by a different definition — resuming it would
+		// silently sweep the wrong cells.
+		if cerr := snap.CheckSpec(*resume); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
+			return 2
+		}
+		// Definition flags passed alongside -resume must agree with the
+		// journal (convenience flags like -timeout/-deadline/-retries
+		// are not part of the definition and still come from the line).
 		a := snap.Meta.Args
+		var mismatch error
+		flag.Visit(func(f *flag.Flag) {
+			want, isDef := a[f.Name]
+			if !isDef || mismatch != nil {
+				return
+			}
+			if got := f.Value.String(); got != want {
+				mismatch = &lifecycle.SpecMismatchError{Path: *resume, Field: "-" + f.Name, Want: want, Got: got}
+			}
+		})
+		if mismatch != nil {
+			fmt.Fprintln(os.Stderr, mismatch)
+			return 2
+		}
 		*name, *param, *values = a["workload"], a["param"], a["values"]
 		*cores = atoi(a["cores"])
 		*instrs = atoi(a["instrs"])
@@ -153,9 +169,11 @@ func run() int {
 		}
 	}
 
-	apply, ok := parameters[*param]
+	// The parameter set is shared with rowserve (internal/serve): one
+	// definition of "what can be swept" across the CLI and the daemon.
+	apply, ok := serve.Params[*param]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown parameter %q\n", *param)
+		fmt.Fprintf(os.Stderr, "unknown parameter %q (known: %s)\n", *param, strings.Join(serve.ParamNames(), ", "))
 		return 2
 	}
 	base, err := workload.Get(*name)

@@ -42,6 +42,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"rowsim/internal/faults"
 	"rowsim/internal/lifecycle"
@@ -83,7 +84,9 @@ func run() int {
 		return repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	// os.Interrupt covers Ctrl-C; SIGTERM is what containers and
+	// orchestrators send — both get the same graceful drain.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	if *deadlin > 0 {
 		var cancel context.CancelFunc
@@ -101,6 +104,12 @@ func run() int {
 		jnl, snap, err = lifecycle.Resume(*resume)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		// Refuse a journal whose meta record no longer hashes to its
+		// recorded sweep definition (edited or produced elsewhere).
+		if cerr := snap.CheckSpec(*resume); cerr != nil {
+			fmt.Fprintln(os.Stderr, cerr)
 			return 2
 		}
 		a := snap.Meta.Args

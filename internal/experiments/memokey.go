@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"runtime/debug"
+	"sync"
+)
+
+// This file is the content-addressing scheme behind rowserve's memo
+// cache. Two cells — possibly from different sweeps or tenants — that
+// hash to the same content key are guaranteed to produce the same
+// sim.Result, because a cell is a pure function of (configuration,
+// workload parameters, trace shape, seed) and of the simulator code
+// itself. The code revision is therefore part of every key: results
+// computed by an older binary must never be served for a newer one.
+
+var (
+	codeRevOnce sync.Once
+	codeRev     string
+)
+
+// CodeRev returns the VCS revision baked into the running binary by
+// the Go toolchain, or "dev" for builds without VCS stamping (go test,
+// uncommitted trees). It is folded into every content key so a memo
+// cache never crosses simulator versions.
+func CodeRev() string {
+	codeRevOnce.Do(func() {
+		codeRev = "dev"
+		info, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		var rev, modified string
+		for _, s := range info.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				rev = s.Value
+			case "vcs.modified":
+				modified = s.Value
+			}
+		}
+		if rev == "" {
+			return
+		}
+		codeRev = rev
+		if modified == "true" {
+			codeRev += "+dirty"
+		}
+	})
+	return codeRev
+}
+
+// ContentKey hashes an ordered sequence of JSON-serializable parts —
+// typically (config.Config, workload.Params, cores, instrs, seed) —
+// together with CodeRev into a stable hex content address. Parts are
+// length-prefixed by position so adjacent values cannot alias across
+// boundaries, and JSON encoding of the repo's plain config/param
+// structs is deterministic (fixed field order, no maps).
+func ContentKey(parts ...any) string {
+	h := sha256.New()
+	enc := json.NewEncoder(h)
+	// Encode never fails for the plain structs and scalars this keys;
+	// a failure would mean a non-serializable part, which is a
+	// programming error the digest makes loudly visible by differing.
+	_ = enc.Encode(CodeRev())
+	for i, p := range parts {
+		_ = enc.Encode(i)
+		_ = enc.Encode(p)
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}

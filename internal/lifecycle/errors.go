@@ -22,6 +22,24 @@ func (e *RunPanicError) Error() string {
 	return fmt.Sprintf("lifecycle: run %q panicked: %v\n%s", e.Spec, e.Value, e.Stack)
 }
 
+// SpecMismatchError reports a resume attempt against a journal whose
+// recorded sweep definition does not match — an edited meta record, a
+// sweep record whose embedded spec no longer hashes to its stored
+// spec_hash, or resume flags that contradict the journaled definition.
+// Resuming anyway would silently sweep different cells than the
+// journal's completed records describe, so callers fail fast instead.
+type SpecMismatchError struct {
+	Path  string // journal path
+	Field string // what diverged: "meta", a sweep ID, or a flag name
+	Want  string // the journaled value (or hash)
+	Got   string // the conflicting value (or recomputed hash)
+}
+
+func (e *SpecMismatchError) Error() string {
+	return fmt.Sprintf("lifecycle: journal %s was produced by a different sweep definition (%s: journal has %q, resume computed %q); refusing to resume",
+		e.Path, e.Field, e.Want, e.Got)
+}
+
 // Class is the retry classification of a failed attempt.
 type Class int
 

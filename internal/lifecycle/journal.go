@@ -2,10 +2,13 @@ package lifecycle
 
 import (
 	"bufio"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"sync"
 
 	"rowsim/internal/sim"
@@ -16,14 +19,32 @@ import (
 // needed to reconstruct it), followed by one "run" record per
 // completed job. Seeds are journaled resolved — a record never carries
 // the ambiguous seed 0 a caller may have passed to mean "default".
+//
+// rowserve reuses the same journal as its durable queue: a "sweep"
+// record admits a batch of cells, and every cell state transition
+// (running, then ok/failed/degraded/canceled) is a "cell" record.
+// Restart replays the journal and reconstructs the exact queue state —
+// the latest record per key wins, so a cell is re-run if and only if
+// its newest journaled state is non-terminal.
 type Record struct {
-	Kind string `json:"kind"` // "meta" | "run"
+	Kind string `json:"kind"` // "meta" | "run" | "sweep" | "cell"
 
-	// Meta fields.
-	Tool string            `json:"tool,omitempty"`
-	Args map[string]string `json:"args,omitempty"`
+	// Meta fields. SpecHash is the canonical hash of the sweep
+	// definition (see SpecHash); Create fills it automatically so a
+	// resume can detect a journal whose meta was edited or that was
+	// produced by a different definition. Sweep records carry the hash
+	// of their embedded Spec the same way.
+	Tool     string            `json:"tool,omitempty"`
+	Args     map[string]string `json:"args,omitempty"`
+	SpecHash string            `json:"spec_hash,omitempty"`
 
-	// Run fields.
+	// Queue fields (rowserve). Sweep is the owning sweep ID on both
+	// "sweep" and "cell" records; Spec is the sweep's JSON submission.
+	Sweep  string          `json:"sweep,omitempty"`
+	Tenant string          `json:"tenant,omitempty"`
+	Spec   json.RawMessage `json:"spec,omitempty"`
+
+	// Run/cell fields.
 	Key      string      `json:"key,omitempty"` // stable job identity (repro line)
 	Seed     uint64      `json:"seed,omitempty"`
 	Status   Status      `json:"status,omitempty"`
@@ -54,6 +75,15 @@ func (r Record) Outcome() Outcome {
 // resume).
 const syncEvery = 16
 
+// journalFile is the sink a journal appends to. Production journals
+// write to an *os.File; tests inject failing implementations to prove
+// write and sync errors surface instead of being dropped.
+type journalFile interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
 // Journal is a crash-safe append-only JSONL run log. Creation is
 // atomic (the header is written to a temp file, fsynced and renamed,
 // so the journal either exists with a valid meta record or not at
@@ -61,7 +91,7 @@ const syncEvery = 16
 // a torn final line by truncating to the last valid record.
 type Journal struct {
 	mu      sync.Mutex
-	f       *os.File
+	f       journalFile
 	w       *bufio.Writer
 	path    string
 	pending int   // appends since the last fsync
@@ -76,6 +106,9 @@ func Create(path string, meta Record) (*Journal, error) {
 		return nil, fmt.Errorf("lifecycle: journal %s already exists (use resume, or remove it)", path)
 	}
 	meta.Kind = "meta"
+	if meta.SpecHash == "" && len(meta.Args) > 0 {
+		meta.SpecHash = SpecHash(meta.Tool, meta.Args)
+	}
 	line, err := json.Marshal(meta)
 	if err != nil {
 		return nil, fmt.Errorf("lifecycle: encode meta: %w", err)
@@ -168,11 +201,48 @@ func (j *Journal) Close() error {
 	return nil
 }
 
-// Snapshot is a loaded journal: the meta record plus the latest run
-// record per job key.
+// SpecHash canonically hashes a sweep definition — the tool name plus
+// its reconstruction arguments in sorted-key order — so a journal can
+// prove which definition produced it. Resume paths compare the stored
+// hash against a recomputation and fail fast with *SpecMismatchError
+// on divergence instead of silently sweeping the wrong cells.
+func SpecHash(tool string, args map[string]string) string {
+	keys := make([]string, 0, len(args))
+	for k := range args {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	fmt.Fprintf(h, "tool=%s\n", tool)
+	for _, k := range keys {
+		fmt.Fprintf(h, "%s=%s\n", k, args[k])
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Snapshot is a loaded journal: the meta record, the latest run (or
+// cell) record per job key, and — for queue journals — the accepted
+// sweep records in admission order.
 type Snapshot struct {
-	Meta Record
-	Runs map[string]Record
+	Meta   Record
+	Runs   map[string]Record
+	Sweeps []Record
+}
+
+// CheckSpec recomputes the meta record's definition hash and returns a
+// *SpecMismatchError when it no longer matches the stored one (an
+// edited or corrupt meta record, or a journal written by a tool whose
+// definition encoding changed). Journals from before spec hashing
+// (no stored hash) pass: there is nothing to validate against.
+func (s *Snapshot) CheckSpec(path string) error {
+	if s == nil || s.Meta.SpecHash == "" {
+		return nil
+	}
+	got := SpecHash(s.Meta.Tool, s.Meta.Args)
+	if got != s.Meta.SpecHash {
+		return &SpecMismatchError{Path: path, Field: "meta", Want: s.Meta.SpecHash, Got: got}
+	}
+	return nil
 }
 
 // Completed reports whether key finished successfully in the journaled
@@ -222,8 +292,13 @@ func Load(path string) (*Snapshot, int64, error) {
 			}
 			snap.Meta = rec
 			first = false
-		} else if rec.Kind == "run" && rec.Key != "" {
+		} else if (rec.Kind == "run" || rec.Kind == "cell") && rec.Key != "" {
+			// Latest record wins: a cell journaled running and later ok
+			// resolves to ok; one journaled ok only before the crash
+			// point resolves to whatever state survived.
 			snap.Runs[rec.Key] = rec
+		} else if rec.Kind == "sweep" {
+			snap.Sweeps = append(snap.Sweeps, rec)
 		}
 		valid += int64(len(line))
 	}

@@ -1,0 +1,244 @@
+package lifecycle
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"rowsim/internal/sim"
+)
+
+// faultFile is a journalFile that starts failing on command: writes
+// fail after failWriteAfter successful calls (-1 = never), Sync fails
+// when failSync is set, Close when failClose is set.
+type faultFile struct {
+	writes         int
+	failWriteAfter int // fail every Write once this many succeeded; -1 = never
+	failSync       bool
+	failClose      bool
+	synced         int
+}
+
+var (
+	errDiskFull  = errors.New("injected: disk full")
+	errSyncFail  = errors.New("injected: fsync failed")
+	errCloseFail = errors.New("injected: close failed")
+)
+
+func (f *faultFile) Write(p []byte) (int, error) {
+	if f.failWriteAfter >= 0 && f.writes >= f.failWriteAfter {
+		return 0, errDiskFull
+	}
+	f.writes++
+	return len(p), nil
+}
+
+func (f *faultFile) Sync() error {
+	if f.failSync {
+		return errSyncFail
+	}
+	f.synced++
+	return nil
+}
+
+func (f *faultFile) Close() error {
+	if f.failClose {
+		return errCloseFail
+	}
+	return nil
+}
+
+func faultJournal(ff *faultFile) *Journal {
+	// Mirror openAppend, with the file swapped for the fault injector.
+	return &Journal{f: ff, w: bufio.NewWriter(ff), path: "fault-injected"}
+}
+
+func runRec(i int) Record {
+	return Record{Kind: "run", Key: fmt.Sprintf("job-%d", i), Seed: 1, Status: StatusOK}
+}
+
+// TestJournalWriteErrorSurfaces: Append never fails the caller's run,
+// but the first write error must become visible on Err and again on
+// Close — a silently broken journal would make resume lie.
+func TestJournalWriteErrorSurfaces(t *testing.T) {
+	ff := &faultFile{failWriteAfter: 1}
+	j := faultJournal(ff)
+
+	j.Append(runRec(0)) // succeeds
+	if err := j.Err(); err != nil {
+		t.Fatalf("first append: unexpected error %v", err)
+	}
+	j.Append(runRec(1)) // the buffered flush hits the failing write
+	if err := j.Err(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Err after failed append = %v, want %v", err, errDiskFull)
+	}
+	if err := j.Close(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Close after failed append = %v, want %v", err, errDiskFull)
+	}
+}
+
+// TestJournalWriteErrorIsSticky: once an append failed, the journal
+// reports that first error forever; later appends are dropped rather
+// than papering over the failure.
+func TestJournalWriteErrorIsSticky(t *testing.T) {
+	ff := &faultFile{failWriteAfter: 0}
+	j := faultJournal(ff)
+	j.Append(runRec(0))
+	first := j.Err()
+	if !errors.Is(first, errDiskFull) {
+		t.Fatalf("Err = %v, want %v", first, errDiskFull)
+	}
+	// Heal the file: the journal must NOT recover silently — records
+	// were already lost.
+	ff.failWriteAfter = -1
+	j.Append(runRec(1))
+	if err := j.Err(); !errors.Is(err, errDiskFull) {
+		t.Fatalf("Err after healed file = %v, want the original sticky %v", err, errDiskFull)
+	}
+	if ff.writes != 0 {
+		t.Fatalf("append after failure wrote %d times, want 0 (dropped)", ff.writes)
+	}
+}
+
+// TestJournalSyncErrorSurfaces: fsync runs once per syncEvery appends;
+// its failure must surface on Err/Close like a write failure even
+// though the appends themselves succeeded.
+func TestJournalSyncErrorSurfaces(t *testing.T) {
+	ff := &faultFile{failWriteAfter: -1, failSync: true}
+	j := faultJournal(ff)
+	for i := 0; i < syncEvery-1; i++ {
+		j.Append(runRec(i))
+	}
+	if err := j.Err(); err != nil {
+		t.Fatalf("before the sync boundary: unexpected error %v", err)
+	}
+	j.Append(runRec(syncEvery - 1)) // crosses the batched-fsync boundary
+	if err := j.Err(); !errors.Is(err, errSyncFail) {
+		t.Fatalf("Err after sync boundary = %v, want %v", err, errSyncFail)
+	}
+	if err := j.Close(); !errors.Is(err, errSyncFail) {
+		t.Fatalf("Close = %v, want %v", err, errSyncFail)
+	}
+}
+
+// TestJournalCloseSurfacesFlushSyncClose: a journal that was healthy
+// through every Append still reports failures of the final flush,
+// fsync, or close.
+func TestJournalCloseSurfacesFlushSyncClose(t *testing.T) {
+	t.Run("sync", func(t *testing.T) {
+		ff := &faultFile{failWriteAfter: -1}
+		j := faultJournal(ff)
+		j.Append(runRec(0))
+		ff.failSync = true
+		if err := j.Close(); !errors.Is(err, errSyncFail) {
+			t.Fatalf("Close = %v, want %v", err, errSyncFail)
+		}
+	})
+	t.Run("close", func(t *testing.T) {
+		ff := &faultFile{failWriteAfter: -1, failClose: true}
+		j := faultJournal(ff)
+		j.Append(runRec(0))
+		if err := j.Close(); !errors.Is(err, errCloseFail) {
+			t.Fatalf("Close = %v, want %v", err, errCloseFail)
+		}
+	})
+	t.Run("write-at-close", func(t *testing.T) {
+		ff := &faultFile{failWriteAfter: -1}
+		j := faultJournal(ff)
+		j.Append(runRec(0))
+		// A record still sitting in the bufio buffer when the write
+		// path dies must fail the Close's flush. Grow the buffer so the
+		// append's own flush is the only prior write.
+		ff.failWriteAfter = ff.writes
+		j.Append(runRec(1))
+		if err := j.Close(); !errors.Is(err, errDiskFull) {
+			t.Fatalf("Close = %v, want %v", err, errDiskFull)
+		}
+	})
+}
+
+// TestSpecHashValidation: Create stamps a hash of the meta definition;
+// CheckSpec accepts the genuine journal and rejects a tampered meta
+// with the typed *SpecMismatchError.
+func TestSpecHashValidation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "j.jsonl")
+	j, err := Create(path, Record{Tool: "rowsweep", Args: map[string]string{"workload": "sps", "values": "0.1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	snap, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Meta.SpecHash == "" {
+		t.Fatal("Create did not stamp a spec hash into the meta record")
+	}
+	if err := snap.CheckSpec(path); err != nil {
+		t.Fatalf("CheckSpec on a genuine journal: %v", err)
+	}
+
+	// Tamper: same hash, different definition.
+	snap.Meta.Args["values"] = "0.9"
+	err = snap.CheckSpec(path)
+	var sm *SpecMismatchError
+	if !errors.As(err, &sm) {
+		t.Fatalf("CheckSpec on tampered meta = %v, want *SpecMismatchError", err)
+	}
+	if sm.Path != path || sm.Field != "meta" {
+		t.Fatalf("mismatch error fields = %+v", sm)
+	}
+
+	// Journals from before spec hashing carry no hash: nothing to
+	// validate, resume proceeds.
+	snap.Meta.SpecHash = ""
+	if err := snap.CheckSpec(path); err != nil {
+		t.Fatalf("CheckSpec without a stored hash = %v, want nil", err)
+	}
+}
+
+// TestQueueRecordsRoundTrip: sweep and cell records — the rowserve
+// queue's state transitions — load back with latest-record-wins
+// semantics and admission order preserved.
+func TestQueueRecordsRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "q.jsonl")
+	j, err := Create(path, Record{Tool: "rowserve", Args: map[string]string{"format": "v1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Append(Record{Kind: "sweep", Sweep: "sw-a", Tenant: "alice", Spec: []byte(`{"workload":"sps"}`), SpecHash: "h1"})
+	j.Append(Record{Kind: "sweep", Sweep: "sw-b", Tenant: "bob", Spec: []byte(`{"workload":"pc"}`), SpecHash: "h2"})
+	j.Append(Record{Kind: "cell", Sweep: "sw-a", Key: "sw-a/x=1/eager", Status: StatusRunning})
+	res := sim.Result{Cycles: 123, Committed: 456}
+	j.Append(Record{Kind: "cell", Sweep: "sw-a", Key: "sw-a/x=1/eager", Status: StatusOK, Result: &res})
+	j.Append(Record{Kind: "cell", Sweep: "sw-b", Key: "sw-b/x=1/lazy", Status: StatusRunning})
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Sweeps) != 2 || snap.Sweeps[0].Sweep != "sw-a" || snap.Sweeps[1].Sweep != "sw-b" {
+		t.Fatalf("sweeps = %+v, want sw-a then sw-b", snap.Sweeps)
+	}
+	if got := snap.Runs["sw-a/x=1/eager"]; got.Status != StatusOK || got.Result == nil {
+		t.Fatalf("latest record for completed cell = %+v, want ok with result", got)
+	}
+	if got := snap.Runs["sw-b/x=1/lazy"]; got.Status != StatusRunning {
+		t.Fatalf("latest record for in-flight cell = %+v, want running", got)
+	}
+	if StatusRunning.Terminal() || StatusPending.Terminal() || StatusCanceled.Terminal() {
+		t.Fatal("pending/running/canceled must be non-terminal (re-run on resume)")
+	}
+	if !StatusOK.Terminal() || !StatusFailed.Terminal() || !StatusDegraded.Terminal() {
+		t.Fatal("ok/failed/degraded must be terminal")
+	}
+}

@@ -41,7 +41,26 @@ const (
 	// StatusCanceled: the supervisor shut down (SIGINT drain, sweep
 	// deadline) before the job finished; a resume re-runs it.
 	StatusCanceled Status = "canceled"
+
+	// Queue-only states (rowserve). The supervisor never produces
+	// them; the daemon journals them as cell state transitions so a
+	// restart reconstructs the queue. Both are non-terminal: a cell
+	// whose newest journaled state is pending or running re-runs.
+	StatusPending Status = "pending"
+	StatusRunning Status = "running"
 )
+
+// Terminal reports whether s is a final state: the job will not run
+// again in this journal's lifetime (ok serves its result, failed and
+// degraded keep their error). Canceled, pending and running cells are
+// re-run on resume.
+func (s Status) Terminal() bool {
+	switch s {
+	case StatusOK, StatusFailed, StatusDegraded:
+		return true
+	}
+	return false
+}
 
 // Config tunes a Supervisor. The zero value retries transient
 // failures twice (three attempts), backing off from 100ms toward 5s,

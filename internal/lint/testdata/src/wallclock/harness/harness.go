@@ -1,0 +1,20 @@
+// Package harness is a wallclock fixture for the default-deny rule: it
+// is neither deterministic core nor allowlisted nor under cmd/, so
+// ambient reads are flagged — the analyzer no longer waits for a
+// package to be promoted into DeterministicPackages before checking it.
+package harness
+
+import (
+	"math/rand/v2"
+	"time"
+)
+
+// Elapsed reads the wall clock: flagged (default-deny).
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want: wallclock
+}
+
+// Pick draws from the global math/rand/v2 source: flagged.
+func Pick(n int) int {
+	return rand.IntN(n) // want: wallclock
+}

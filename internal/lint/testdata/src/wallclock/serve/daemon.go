@@ -1,0 +1,24 @@
+// Package serve is a wallclock fixture for the allowlist: the daemon's
+// observability surface is wall-clock by nature, so nothing in this
+// file is flagged even under default-deny.
+package serve
+
+import (
+	"os"
+	"time"
+)
+
+// Uptime reads the wall clock: legal here, "serve" is allowlisted.
+func Uptime(start time.Time) float64 {
+	return time.Since(start).Seconds()
+}
+
+// Stamp is equally legal.
+func Stamp() int64 {
+	return time.Now().UnixMilli()
+}
+
+// Port reads the environment: legal here.
+func Port() string {
+	return os.Getenv("ROWSERVE_ADDR")
+}

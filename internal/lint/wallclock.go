@@ -3,19 +3,57 @@ package lint
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
-// WallClock bans ambient nondeterminism inside the deterministic core:
-// wall-clock reads (time.Now and friends), the global math/rand source
-// (whose state is shared, seeded from the clock, and lock-protected),
-// and environment lookups. Simulated components must take time from
-// the simulation clock, randomness from a seeded *xrand.Rand (or a
-// locally constructed rand.New(rand.NewSource(seed))), and
-// configuration from injected Config values — never from the host.
+// WallClock bans ambient nondeterminism: wall-clock reads (time.Now
+// and friends), the global math/rand source (whose state is shared,
+// seeded from the clock, and lock-protected), and environment lookups.
+// Simulated components must take time from the simulation clock,
+// randomness from a seeded *xrand.Rand (or a locally constructed
+// rand.New(rand.NewSource(seed))), and configuration from injected
+// Config values — never from the host.
+//
+// The check is default-deny: every package is checked unless its path
+// is under cmd/ (CLIs report wall time to humans) or its final element
+// is named in WallClockAllowed. The deterministic core is checked
+// unconditionally — listing a DeterministicPackages member in the
+// allowlist has no effect (and is itself rejected by a test).
 var WallClock = &Analyzer{
 	Name: "wallclock",
-	Doc:  "bans wall clocks, global math/rand and env reads in deterministic packages",
+	Doc:  "bans wall clocks, global math/rand and env reads outside allowlisted packages",
 	Run:  runWallClock,
+}
+
+// WallClockAllowed names the non-core packages that may read ambient
+// host state, matched — like DeterministicPackages — by the final
+// import-path element. Keep every entry justified: the allowlist is
+// the single place to audit for clock creep, which is why it replaces
+// scattered //rowlint:ignore directives for whole-package exemptions.
+var WallClockAllowed = map[string]bool{
+	// The rowserve daemon's observability surface: uptime, Retry-After
+	// estimates and per-worker "since" stamps are wall-clock by nature
+	// and never feed simulated state. (Timers and durations — what the
+	// lifecycle supervisor uses — are legal everywhere; only ambient
+	// reads are banned, so nothing else needs listing today.)
+	"serve": true,
+}
+
+// wallclockChecked decides whether the analyzer runs on a package:
+// deterministic core always, cmd/ and allowlisted packages never,
+// everything else by default.
+func wallclockChecked(path string) bool {
+	base := path
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	if DeterministicPackages[base] {
+		return true
+	}
+	if strings.HasPrefix(path, "cmd/") || strings.Contains(path, "/cmd/") {
+		return false
+	}
+	return !WallClockAllowed[base]
 }
 
 // wallclockBanned maps package path -> banned member -> replacement
@@ -57,7 +95,7 @@ var wallclockBanned = map[string]map[string]string{
 }
 
 func runWallClock(pass *Pass) {
-	if !pass.Deterministic() {
+	if !wallclockChecked(pass.Pkg.Path) {
 		return
 	}
 	for _, f := range pass.Pkg.Files {

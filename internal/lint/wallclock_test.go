@@ -1,0 +1,38 @@
+package lint
+
+import "testing"
+
+// TestWallClockAllowlistDisjointFromCore: the allowlist can never
+// exempt the deterministic core — an entry that names a
+// DeterministicPackages member is a policy contradiction and fails
+// here before it can silently weaken the gate.
+func TestWallClockAllowlistDisjointFromCore(t *testing.T) {
+	for name := range WallClockAllowed {
+		if DeterministicPackages[name] {
+			t.Errorf("WallClockAllowed lists %q, which is a deterministic-core package; the core is always checked", name)
+		}
+	}
+}
+
+// TestWallClockChecked pins the default-deny decision table.
+func TestWallClockChecked(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"rowsim/internal/sim", true},     // deterministic core
+		{"rowsim/internal/mcheck", true},  // deterministic core
+		{"rowsim/internal/serve", false},  // allowlisted daemon
+		{"rowsim/cmd/rowbench", false},    // CLIs report wall time to humans
+		{"cmd/rowbench", false},           // module-root-relative cmd path
+		{"rowsim/internal/torture", true}, // default-deny: unlisted → checked
+		{"rowsim/internal/experiments", true},
+		{"rowsim/internal/lint/testdata/src/wallclock/core", true},   // fixture scores like the real core
+		{"rowsim/internal/lint/testdata/src/wallclock/serve", false}, // fixture scores like the real serve
+	}
+	for _, c := range cases {
+		if got := wallclockChecked(c.path); got != c.want {
+			t.Errorf("wallclockChecked(%q) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}

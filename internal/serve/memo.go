@@ -1,0 +1,98 @@
+package serve
+
+import (
+	"sync"
+
+	"rowsim/internal/sim"
+)
+
+// memoOutcome is one finished computation: the result of a cell, or
+// the deterministic failure every identical cell would reproduce.
+type memoOutcome struct {
+	res sim.Result
+	err string // non-empty for deterministic (permanent) failures
+}
+
+// memo is the content-addressed result cache with single-flight
+// deduplication: the first worker to claim a content key computes it,
+// concurrent claims for the same key park until the leader publishes,
+// and later claims are served instantly. Keys embed the code revision
+// (see experiments.ContentKey), so a cache never serves results across
+// simulator versions.
+type memo struct {
+	mu       sync.Mutex
+	done     map[string]memoOutcome
+	inflight map[string]chan struct{} // closed when the leader publishes
+
+	hits, misses uint64 // claim outcomes (leader claims count as misses)
+}
+
+func newMemo() *memo {
+	return &memo{
+		done:     make(map[string]memoOutcome),
+		inflight: make(map[string]chan struct{}),
+	}
+}
+
+// claim looks up key. Exactly one of three shapes comes back:
+//   - ok=true: out is the cached outcome (a hit).
+//   - ok=false, wait=nil: the caller is the leader and must compute the
+//     cell, then publish (or abandon) the key.
+//   - ok=false, wait!=nil: another worker is computing the key; receive
+//     on wait, then claim again.
+func (m *memo) claim(key string) (out memoOutcome, ok bool, wait <-chan struct{}) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if out, ok := m.done[key]; ok {
+		m.hits++
+		return out, true, nil
+	}
+	if ch, busy := m.inflight[key]; busy {
+		return memoOutcome{}, false, ch
+	}
+	m.inflight[key] = make(chan struct{})
+	m.misses++
+	return memoOutcome{}, false, nil
+}
+
+// publish records the leader's outcome and releases every parked
+// claimer.
+func (m *memo) publish(key string, out memoOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[key] = out
+	if ch, ok := m.inflight[key]; ok {
+		close(ch)
+		delete(m.inflight, key)
+	}
+}
+
+// abandon releases a claimed key without an outcome (the leader was
+// canceled mid-computation). Parked claimers wake and re-claim; the
+// next one becomes the new leader.
+func (m *memo) abandon(key string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if ch, ok := m.inflight[key]; ok {
+		close(ch)
+		delete(m.inflight, key)
+	}
+}
+
+// seed pre-fills the cache (journal recovery: completed cells of
+// unfinished sweeps re-serve without recomputation). It never
+// overwrites a present entry.
+func (m *memo) seed(key string, out memoOutcome) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.done[key]; !ok {
+		m.done[key] = out
+	}
+}
+
+// counters returns (hits, misses, entries).
+func (m *memo) counters() (hits, misses uint64, entries int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.hits, m.misses, len(m.done)
+}

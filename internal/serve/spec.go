@@ -1,0 +1,259 @@
+// Package serve implements rowserve: a long-running, multi-tenant
+// simulation daemon. It accepts sweep specifications over HTTP/JSON,
+// persists them into a crash-safe queue built on the lifecycle
+// journal (the journal IS the queue: every cell state transition is
+// an appended record and restart replays the file to reconstruct the
+// exact queue), schedules cells across a bounded worker pool under the
+// lifecycle supervisor (panic containment, per-attempt timeouts,
+// classified retry), and serves results from a content-addressed memo
+// cache so identical cells across sweeps and tenants compute once.
+//
+// Robustness is the design driver: admission control sheds load with
+// 429 + Retry-After instead of growing without bound, SIGTERM/SIGINT
+// drain gracefully to a resumable queue, and the chaostest harness
+// proves that kill -9 at any point — including mid-journal-append —
+// loses no accepted cell, duplicates no completed cell, and yields a
+// result set byte-identical to an uninterrupted run.
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"rowsim/internal/config"
+	"rowsim/internal/experiments"
+	"rowsim/internal/workload"
+)
+
+// Params maps sweep-parameter names to their application on the
+// workload. It is the one shared definition of "what can be swept" —
+// cmd/rowsweep and the daemon both use it, so a spec means the same
+// cells everywhere.
+var Params = map[string]func(*workload.Params, float64){
+	"atomics10k":  func(p *workload.Params, v float64) { p.AtomicsPer10K = v },
+	"sharedfrac":  func(p *workload.Params, v float64) { p.SharedFrac = v },
+	"hotlines":    func(p *workload.Params, v float64) { p.HotLines = int(v) },
+	"storebefore": func(p *workload.Params, v float64) { p.StoreBefore = v },
+	"workingset":  func(p *workload.Params, v float64) { p.WorkingSet = int(v) },
+	"depmean":     func(p *workload.Params, v float64) { p.DepMean = v },
+	"addrindep":   func(p *workload.Params, v float64) { p.AddrIndep = v },
+}
+
+// ParamNames returns the known sweep parameters, sorted (flag help,
+// error messages).
+func ParamNames() []string {
+	names := make([]string, 0, len(Params))
+	for n := range Params {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// ApplyParam applies one sweep value to the workload parameters,
+// failing on unknown parameter names.
+func ApplyParam(p *workload.Params, name string, v float64) error {
+	apply, ok := Params[name]
+	if !ok {
+		return fmt.Errorf("serve: unknown sweep parameter %q (known: %s)", name, strings.Join(ParamNames(), ", "))
+	}
+	apply(p, v)
+	return nil
+}
+
+// Policies maps spec policy names to atomic-execution policies.
+var Policies = map[string]config.AtomicPolicy{
+	"eager": config.PolicyEager,
+	"lazy":  config.PolicyLazy,
+	"row":   config.PolicyRoW,
+}
+
+// DefaultPolicies is the comparison trio a spec sweeps when it names
+// none explicitly, in canonical order.
+var DefaultPolicies = []string{"eager", "lazy", "row"}
+
+// Spec limits: a single spec may not expand into more cells than this
+// (admission control starts at the parse boundary — a huge spec is
+// rejected before it allocates anything).
+const (
+	MaxCellsPerSweep = 256
+	maxCores         = 512
+	maxInstrs        = 1_000_000
+)
+
+// SweepSpec is the JSON body of POST /v1/sweeps: one parameter swept
+// over a value list for a base workload, each value simulated under
+// each policy. It is the same sweep shape cmd/rowsweep runs locally.
+type SweepSpec struct {
+	Workload string    `json:"workload"`           // base workload name
+	Param    string    `json:"param"`              // swept parameter (see Params)
+	Values   []float64 `json:"values"`             // sweep points
+	Policies []string  `json:"policies,omitempty"` // default eager,lazy,row
+	Cores    int       `json:"cores,omitempty"`    // default 8
+	Instrs   int       `json:"instrs,omitempty"`   // per-core instructions, default 4000
+	Seed     uint64    `json:"seed,omitempty"`     // 0 selects the documented default seed
+
+	// TimeoutMS, when positive, bounds the whole sweep's wall-clock
+	// time from admission; cells that miss the deadline are journaled
+	// canceled and re-run if the sweep is resubmitted or the daemon
+	// restarts (the deadline re-arms per process).
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// Normalize fills defaults and validates the spec. It must be called
+// before Hash, ID or Cells: normalization is part of the canonical
+// form, so `{"cores":0}` and `{"cores":8}` are the same sweep.
+func (s *SweepSpec) Normalize() error {
+	if s.Workload == "" {
+		s.Workload = "sps"
+	}
+	if _, err := workload.Get(s.Workload); err != nil {
+		return fmt.Errorf("serve: %w", err)
+	}
+	if s.Param == "" {
+		s.Param = "sharedfrac"
+	}
+	if _, ok := Params[s.Param]; !ok {
+		return fmt.Errorf("serve: unknown sweep parameter %q (known: %s)", s.Param, strings.Join(ParamNames(), ", "))
+	}
+	if len(s.Values) == 0 {
+		return fmt.Errorf("serve: spec has no sweep values")
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = append([]string(nil), DefaultPolicies...)
+	}
+	for _, p := range s.Policies {
+		if _, ok := Policies[p]; !ok {
+			return fmt.Errorf("serve: unknown policy %q (known: eager, lazy, row)", p)
+		}
+	}
+	if s.Cores == 0 {
+		s.Cores = 8
+	}
+	if s.Cores < 1 || s.Cores > maxCores {
+		return fmt.Errorf("serve: cores %d out of range [1,%d]", s.Cores, maxCores)
+	}
+	if s.Instrs == 0 {
+		s.Instrs = 4000
+	}
+	if s.Instrs < 1 || s.Instrs > maxInstrs {
+		return fmt.Errorf("serve: instrs %d out of range [1,%d]", s.Instrs, maxInstrs)
+	}
+	if s.Seed == 0 {
+		s.Seed = experiments.DefaultSeed
+	}
+	if s.TimeoutMS < 0 {
+		return fmt.Errorf("serve: negative timeout_ms %d", s.TimeoutMS)
+	}
+	if n := len(s.Values) * len(s.Policies); n > MaxCellsPerSweep {
+		return fmt.Errorf("serve: spec expands to %d cells, limit %d", n, MaxCellsPerSweep)
+	}
+	return nil
+}
+
+// Canonical returns the spec's canonical JSON encoding (normalized
+// field values, fixed struct field order). Hashing and journaling use
+// this form, so byte equality means spec equality.
+func (s SweepSpec) Canonical() []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// A plain struct of scalars and slices cannot fail to encode.
+		panic(fmt.Sprintf("serve: encode spec: %v", err))
+	}
+	return b
+}
+
+// Hash is the content hash of the normalized spec: the sweep's
+// durable identity. Journals store it next to the embedded spec so
+// recovery can prove the spec it replays is the spec that was
+// admitted.
+func (s SweepSpec) Hash() string {
+	sum := sha256.Sum256(s.Canonical())
+	return hex.EncodeToString(sum[:])
+}
+
+// ID derives the sweep's public identifier from its hash. Determinism
+// is a feature: resubmitting an identical spec names the same sweep,
+// making submission idempotent and retry-safe for clients.
+func (s SweepSpec) ID() string {
+	return "sw-" + s.Hash()[:12]
+}
+
+// Timeout returns the whole-sweep deadline, or 0 for none.
+func (s SweepSpec) Timeout() time.Duration {
+	return time.Duration(s.TimeoutMS) * time.Millisecond
+}
+
+// Cell is one schedulable unit of a sweep: (value, policy).
+type Cell struct {
+	Key    string  // stable within the sweep: "param=value/policy"
+	Value  float64 // the swept value
+	Policy string  // policy name (a Policies key)
+}
+
+// Cells expands the normalized spec into its cell list, in canonical
+// order (values outer, policies inner). Expansion is deterministic, so
+// recovery re-derives the exact same cells from the journaled spec.
+func (s SweepSpec) Cells() []Cell {
+	cells := make([]Cell, 0, len(s.Values)*len(s.Policies))
+	for _, v := range s.Values {
+		for _, p := range s.Policies {
+			cells = append(cells, Cell{
+				Key:    fmt.Sprintf("%s=%s/%s", s.Param, trimFloat(v), p),
+				Value:  v,
+				Policy: p,
+			})
+		}
+	}
+	return cells
+}
+
+// Config materializes the simulator configuration for one cell —
+// the same shape cmd/rowsweep builds for its cells.
+func (s SweepSpec) Config(c Cell) *config.Config {
+	cfg := config.Default()
+	cfg.NumCores = s.Cores
+	cfg.Policy = Policies[c.Policy]
+	cfg.RoW.Predictor = config.PredSaturate
+	cfg.EarlyAddrCalc = cfg.Policy == config.PolicyRoW
+	cfg.MaxCycles = 500_000_000
+	return cfg
+}
+
+// WorkloadParams returns the cell's workload parameters: the base
+// workload with the swept value applied.
+func (s SweepSpec) WorkloadParams(c Cell) (workload.Params, error) {
+	p, err := workload.Get(s.Workload)
+	if err != nil {
+		return workload.Params{}, fmt.Errorf("serve: %w", err)
+	}
+	if err := ApplyParam(&p, s.Param, c.Value); err != nil {
+		return workload.Params{}, err
+	}
+	return p, nil
+}
+
+// ContentKey is the cell's content address: identical keys across any
+// two sweeps or tenants denote byte-identical results, so the memo
+// cache computes them once. The key covers the full simulator
+// configuration, the applied workload parameters, the trace shape and
+// seed, and (via experiments.ContentKey) the code revision.
+func (s SweepSpec) ContentKey(c Cell) (string, error) {
+	wp, err := s.WorkloadParams(c)
+	if err != nil {
+		return "", err
+	}
+	return experiments.ContentKey(s.Config(c), wp, s.Cores, s.Instrs, s.Seed), nil
+}
+
+// trimFloat renders a sweep value the way rowsweep's key format does:
+// no trailing zeros, integers without a decimal point.
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
