@@ -53,6 +53,9 @@ func run() int {
 		retries  = flag.Int("retries", 3, "attempt budget per cell for transient failures (timeout, panic)")
 		grace    = flag.Duration("drain-grace", 5*time.Second, "how long a drain waits for in-flight cells before checkpointing them")
 
+		ckptEvery = flag.Uint64("checkpoint-every", 0, "write a durable per-cell checkpoint every N simulated cycles (0 = off); interrupted cells resume mid-run after crash or restart")
+		ckptDir   = flag.String("checkpoint-dir", "", "per-cell checkpoint directory (default: <journal>.ckpt when -checkpoint-every is set)")
+
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
 		traceFile  = flag.String("trace", "", "write a runtime execution trace to this file")
@@ -83,6 +86,9 @@ func run() int {
 		RunTimeout:  *timeout,
 		MaxAttempts: *retries,
 		DrainGrace:  *grace,
+
+		CheckpointEvery: *ckptEvery,
+		CheckpointDir:   *ckptDir,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)

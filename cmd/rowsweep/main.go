@@ -27,11 +27,13 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"sync"
 	"syscall"
 
+	"rowsim/internal/checkpoint"
 	"rowsim/internal/config"
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
@@ -71,6 +73,9 @@ func run() int {
 		deadlin = flag.Duration("deadline", 0, "whole-sweep wall-clock deadline (0 = off)")
 		retries = flag.Int("retries", 3, "attempt budget per run for transient failures (timeout, panic)")
 		jobs    = flag.Int("jobs", 0, "parallel sweep workers (<1 = GOMAXPROCS); aggregate output is identical for any value")
+
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a durable per-cell checkpoint every N simulated cycles (0 = off); interrupted or retried cells resume from it")
+		resumeFrom = flag.String("resume-from", "", "directory holding mid-run checkpoints from a previous invocation (default: derived from the journal path when -checkpoint-every is set)")
 
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprofile = flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -169,6 +174,29 @@ func run() int {
 		}
 	}
 
+	// Checkpoints live in one directory per sweep, one file per cell
+	// (named by the cell's content key, so a resume matches them without
+	// any manifest). -resume-from names it explicitly; otherwise it is
+	// derived from the journal path so interrupt-then-resume finds the
+	// checkpoints with no extra flags.
+	ckptDir := *resumeFrom
+	if ckptDir == "" && *ckptEvery > 0 {
+		switch {
+		case *resume != "":
+			ckptDir = *resume + ".ckpt"
+		case *journal != "":
+			ckptDir = *journal + ".ckpt"
+		default:
+			ckptDir = "rowsweep.ckpt"
+		}
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
 	// The parameter set is shared with rowserve (internal/serve): one
 	// definition of "what can be swept" across the CLI and the daemon.
 	apply, ok := serve.Params[*param]
@@ -230,20 +258,46 @@ func run() int {
 			mu.Unlock()
 			return
 		}
-		out := sup.Do(ctx, lifecycle.Job{Key: c.key, Seed: *seed}, func(runCtx context.Context) (sim.Result, error) {
+		// The checkpoint content key covers everything that determines
+		// the run — config (policy included), workload parameters,
+		// shape, seed and code revision — so a stale or foreign
+		// checkpoint can never be resumed into this cell.
+		var cpath, ckey string
+		if ckptDir != "" {
+			ckey = experiments.ContentKey("rowsweep-cell", cellCfg(c.pcfg, *cores), c.wp, *instrs, *seed)
+			cpath = filepath.Join(ckptDir, ckey[:16]+".ckpt")
+		}
+		out := sup.Do(ctx, lifecycle.Job{Key: c.key, Seed: *seed, Checkpoint: cpath}, func(runCtx context.Context) (sim.Result, error) {
 			progs := workload.Generate(c.wp, *cores, *instrs, *seed)
-			cfg := config.Default()
-			cfg.NumCores = *cores
-			cfg.Policy = c.pcfg
-			cfg.RoW.Predictor = config.PredSaturate
-			cfg.EarlyAddrCalc = c.pcfg == config.PolicyRoW
-			cfg.MaxCycles = 500_000_000
-			s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(c.wp)))
+			cfg := cellCfg(c.pcfg, *cores)
+			opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(c.wp))}
+			if cpath != "" && *ckptEvery > 0 {
+				opts = append(opts, sim.WithCheckpoint(*ckptEvery, checkpoint.Saver(cpath, ckey)))
+			}
+			s, err := sim.New(cfg, progs, opts...)
 			if err != nil {
 				return sim.Result{}, err
 			}
+			if cpath != "" {
+				cyc, resumed, warn, err := checkpoint.ResumeLenient(s, cpath, ckey)
+				if err != nil {
+					return sim.Result{}, err
+				}
+				if warn != nil {
+					fmt.Fprintf(os.Stderr, "%-30s checkpoint unusable, starting fresh: %v\n", c.key, warn)
+				}
+				if resumed {
+					fmt.Fprintf(os.Stderr, "%-30s resumed from checkpoint at cycle %d\n", c.key, cyc)
+				}
+			}
 			return s.RunCtx(runCtx)
 		})
+		if cpath != "" && out.Status.Terminal() {
+			// The cell is done (ok, or deterministically failed): its
+			// recovery state has no future use. Canceled cells keep
+			// theirs for the next invocation.
+			checkpoint.Remove(cpath)
+		}
 		mu.Lock()
 		outcomes[c.key] = out
 		switch out.Status {
@@ -315,6 +369,19 @@ func closeJournal(j *lifecycle.Journal) int {
 		return 1
 	}
 	return 0
+}
+
+// cellCfg builds one sweep cell's simulator configuration. Shared by
+// the run itself and the checkpoint content key, so the key always
+// hashes exactly the configuration that executes.
+func cellCfg(pol config.AtomicPolicy, cores int) *config.Config {
+	cfg := config.Default()
+	cfg.NumCores = cores
+	cfg.Policy = pol
+	cfg.RoW.Predictor = config.PredSaturate
+	cfg.EarlyAddrCalc = pol == config.PolicyRoW
+	cfg.MaxCycles = 500_000_000
+	return cfg
 }
 
 func atoi(s string) int {

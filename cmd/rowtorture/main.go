@@ -74,6 +74,9 @@ func run() int {
 		retries = flag.Int("retries", 1, "attempt budget per run for transient failures (timeout, panic)")
 		verbose = flag.Bool("v", false, "print a line per run")
 		witness = flag.String("replay", "", "replay a rowcheck witness spec (mcheck v1 ...)")
+
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "write a durable per-run checkpoint every N simulated cycles (0 = off); interrupted or retried runs resume from it")
+		resumeFrom = flag.String("resume-from", "", "directory holding mid-run checkpoints from a previous invocation (default: derived from the journal path when -checkpoint-every is set)")
 	)
 	flag.Parse()
 
@@ -143,20 +146,44 @@ func run() int {
 		}
 	}
 
+	// Checkpoints live one file per run spec under a sweep-scoped
+	// directory; -resume-from names it explicitly, otherwise it is
+	// derived from the journal path so interrupt-then-resume finds the
+	// checkpoints without extra flags.
+	ckptDir := *resumeFrom
+	if ckptDir == "" && *ckptEvery > 0 {
+		switch {
+		case *resume != "":
+			ckptDir = *resume + ".ckpt"
+		case *journal != "":
+			ckptDir = *journal + ".ckpt"
+		default:
+			ckptDir = "rowtorture.ckpt"
+		}
+	}
+	if ckptDir != "" {
+		if err := os.MkdirAll(ckptDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+	}
+
 	opt := torture.Options{
-		Runs:        *n,
-		Workers:     *workers,
-		Seed:        *seed,
-		Cores:       parseInts(*cores),
-		Instrs:      parseInts(*instrs),
-		ReplayEvery: *replay,
-		CheckEvery:  *check,
-		MaxCycles:   *budget,
-		Ctx:         ctx,
-		RunTimeout:  *timeout,
-		MaxAttempts: *retries,
-		Journal:     jnl,
-		Resume:      snap,
+		Runs:            *n,
+		Workers:         *workers,
+		Seed:            *seed,
+		Cores:           parseInts(*cores),
+		Instrs:          parseInts(*instrs),
+		ReplayEvery:     *replay,
+		CheckEvery:      *check,
+		MaxCycles:       *budget,
+		Ctx:             ctx,
+		RunTimeout:      *timeout,
+		MaxAttempts:     *retries,
+		Journal:         jnl,
+		Resume:          snap,
+		CheckpointDir:   ckptDir,
+		CheckpointEvery: *ckptEvery,
 	}
 	if *verbose {
 		opt.Progress = func(msg string) { fmt.Println(msg) }

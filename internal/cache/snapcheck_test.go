@@ -1,0 +1,52 @@
+package cache
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard for
+// the private cache controller and its inner tables.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Private{}, []string{
+		"l1", "l2",
+		"mshrs", "stalled", "pendingFar", "farDeferred",
+		"events", "seq", "now",
+		"strides",
+		"work",
+		"Stats",
+	}, map[string]string{
+		"coreID":          "construction-time identity",
+		"net":             "wiring; the mesh is snapshotted separately",
+		"client":          "wiring; the core is snapshotted separately",
+		"bankOf":          "pure function of the configuration",
+		"lineMask":        "derived from the line size at construction",
+		"l1Hit":           "construction-time latency constant",
+		"l2Hit":           "construction-time latency constant",
+		"mshrLimit":       "construction-time capacity constant",
+		"waiterFree":      "allocation recycling free list; contents are by definition unreferenced",
+		"pool":            "wiring; pool counters are snapshotted separately as PoolSnap",
+		"pfDegree":        "construction-time prefetcher constant",
+		"pfConfMin":       "construction-time prefetcher constant",
+		"noForcedRelease": "model-checker mode flag, never set in checkpointed runs",
+		"sink":            "wiring; provably empty at checkpoint instants",
+	})
+
+	snapcheck.Assert(t, mshr{}, []string{
+		"line", "write", "waiters", "dataArrived", "grant",
+		"fromPrivate", "pendingAcks", "sentAt",
+	}, nil)
+
+	snapcheck.Assert(t, waiter{}, []string{"tag", "at", "write"}, nil)
+
+	snapcheck.Assert(t, event{}, []string{
+		"at", "seq", "kind", "tag", "line", "wr", "lat",
+	}, nil)
+
+	snapcheck.Assert(t, strideEntry{}, []string{
+		"pc", "lastAddr", "stride", "conf",
+	}, nil)
+
+	snapcheck.Assert(t, stalledExt{}, []string{"msg", "stallAt"}, nil)
+}

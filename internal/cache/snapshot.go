@@ -47,12 +47,33 @@ type FarSnap struct {
 	Waiters []WaiterSnap
 }
 
+// EventSnap is the exported view of one pending pipeline event
+// (lookup completion or deferred miss).
+type EventSnap struct {
+	At   uint64 `json:"at"`
+	Seq  uint64 `json:"seq"`
+	Kind uint8  `json:"kind"`
+	Tag  uint64 `json:"tag"`
+	Line uint64 `json:"line"`
+	Wr   bool   `json:"wr"`
+	Lat  uint64 `json:"lat"`
+}
+
+// StrideSnap is the exported view of one stride-prefetcher table entry.
+type StrideSnap struct {
+	PC       uint64 `json:"pc"`
+	LastAddr uint64 `json:"last_addr"`
+	Stride   int64  `json:"stride"`
+	Conf     int    `json:"conf"`
+}
+
 // CacheSnap is a deep copy of the controller's mutable state. The
 // MSHR, stalled and far tables are key-sorted so two snapshots of
 // equal logical state compare equal regardless of internal table
 // order (the flat tables use swap-removal, which permutes entries
-// without changing behaviour). Stats are excluded: monotonic
-// observability counters with no protocol feedback.
+// without changing behaviour). Stats ride along so a restored run
+// reports byte-identical counters; every field is exported because
+// checkpoints serialize the whole snapshot to disk.
 type CacheSnap struct {
 	Now, Seq uint64
 	Work     uint64
@@ -62,10 +83,10 @@ type CacheSnap struct {
 	Far     []FarSnap
 	FarDef  []FarSnap // far RMWs deferred behind an in-flight miss
 
-	// Geometry-bound and internal pipeline state, opaque to callers.
-	l1, l2  sram.Snap
-	events  []event
-	strides []strideEntry
+	L1, L2  sram.Snap
+	Events  []EventSnap
+	Strides []StrideSnap
+	Stats   Stats
 }
 
 func snapWaiters(ws []waiter) []WaiterSnap {
@@ -88,10 +109,18 @@ func restoreWaiters(ws []WaiterSnap) []waiter {
 func (p *Private) Snapshot() CacheSnap {
 	s := CacheSnap{
 		Now: p.now, Seq: p.seq, Work: p.work,
-		l1:      p.l1.Snapshot(),
-		l2:      p.l2.Snapshot(),
-		events:  append([]event(nil), p.events...),
-		strides: append([]strideEntry(nil), p.strides...),
+		L1:    p.l1.Snapshot(),
+		L2:    p.l2.Snapshot(),
+		Stats: p.Stats,
+	}
+	s.Stats.MissHist = p.Stats.MissHist.Clone()
+	for _, e := range p.events {
+		s.Events = append(s.Events, EventSnap{
+			At: e.at, Seq: e.seq, Kind: e.kind, Tag: e.tag, Line: e.line, Wr: e.wr, Lat: e.lat,
+		})
+	}
+	for _, t := range p.strides {
+		s.Strides = append(s.Strides, StrideSnap{PC: t.pc, LastAddr: t.lastAddr, Stride: t.stride, Conf: t.conf})
 	}
 	for i := range p.mshrs.ms {
 		m := &p.mshrs.ms[i]
@@ -127,10 +156,22 @@ func (p *Private) Snapshot() CacheSnap {
 // would double-count the retained population).
 func (p *Private) Restore(s CacheSnap) {
 	p.now, p.seq, p.work = s.Now, s.Seq, s.Work
-	p.l1.Restore(s.l1)
-	p.l2.Restore(s.l2)
-	p.events = append(p.events[:0], s.events...)
-	copy(p.strides, s.strides)
+	p.l1.Restore(s.L1)
+	p.l2.Restore(s.L2)
+	p.Stats = s.Stats
+	p.Stats.MissHist = s.Stats.MissHist.Clone()
+	p.events = p.events[:0]
+	for _, e := range s.Events {
+		p.events = append(p.events, event{
+			at: e.At, seq: e.Seq, kind: e.Kind, tag: e.Tag, line: e.Line, wr: e.Wr, lat: e.Lat,
+		})
+	}
+	for i := range p.strides {
+		p.strides[i] = strideEntry{}
+	}
+	for i, t := range s.Strides {
+		p.strides[i] = strideEntry{pc: t.PC, lastAddr: t.LastAddr, stride: t.Stride, conf: t.Conf}
+	}
 
 	p.mshrs.lines = p.mshrs.lines[:0]
 	p.mshrs.ms = p.mshrs.ms[:0]

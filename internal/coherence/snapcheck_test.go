@@ -1,0 +1,38 @@
+package coherence
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard for
+// the directory bank, its per-line entries and the message pool.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Directory{}, []string{
+		"now", "lines", "l3", "Stats",
+	}, map[string]string{
+		"nodeID":      "construction-time identity",
+		"bank":        "construction-time identity",
+		"net":         "wiring; the mesh is snapshotted separately",
+		"l3HitCycles": "construction-time latency constant",
+		"dramCycles":  "construction-time latency constant",
+		"pool":        "wiring; pool counters are snapshotted separately as PoolSnap",
+		"sink":        "wiring; provably empty at checkpoint instants",
+		"hook":        "model-checker interposer, never set in checkpointed runs",
+	})
+
+	snapcheck.Assert(t, dirEntry{}, []string{
+		"state", "owner", "sharers", "blocked", "pend", "waiting",
+	}, nil)
+
+	snapcheck.Assert(t, pending{}, []string{
+		"requestor", "isWrite", "far", "farAcks", "farData",
+	}, nil)
+
+	snapcheck.Assert(t, MsgPool{}, []string{
+		"gets", "puts",
+	}, map[string]string{
+		"free": "free-list members are by definition unreferenced; only the counters define Outstanding",
+	})
+}

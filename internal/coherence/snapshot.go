@@ -65,12 +65,14 @@ type DirEntrySnap struct {
 }
 
 // DirSnap is a deep copy of one bank's mutable protocol state. Stats
-// are deliberately excluded: they are monotonic observability counters
-// with no feedback into protocol decisions.
+// ride along so a checkpointed run restores to byte-identical counters
+// (they never feed back into protocol decisions, but they do reach the
+// final Result).
 type DirSnap struct {
 	Now   uint64
 	Lines map[uint64]DirEntrySnap
 	L3    sram.Snap
+	Stats DirStats
 }
 
 func (e *dirEntry) snap() DirEntrySnap {
@@ -95,7 +97,7 @@ func (e *dirEntry) snap() DirEntrySnap {
 
 // Snapshot captures the bank's directory entries and L3 contents.
 func (d *Directory) Snapshot() DirSnap {
-	s := DirSnap{Now: d.now, Lines: make(map[uint64]DirEntrySnap, len(d.lines)), L3: d.l3.Snapshot()}
+	s := DirSnap{Now: d.now, Lines: make(map[uint64]DirEntrySnap, len(d.lines)), L3: d.l3.Snapshot(), Stats: d.Stats}
 	//rowlint:ignore maporder building a map from a map; per-key copies are order-independent
 	for line, e := range d.lines {
 		s.Lines[line] = e.snap()
@@ -109,6 +111,7 @@ func (d *Directory) Snapshot() DirSnap {
 // here would double-count the retained population).
 func (d *Directory) Restore(s DirSnap) {
 	d.now = s.Now
+	d.Stats = s.Stats
 	d.lines = make(map[uint64]*dirEntry, len(s.Lines))
 	//rowlint:ignore maporder rebuilding a map from a map; per-key copies are order-independent
 	for line, es := range s.Lines {

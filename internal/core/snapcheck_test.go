@@ -1,0 +1,69 @@
+package core
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard:
+// adding a field to the core (or any of its ring-entry structs)
+// without deciding its checkpoint story fails here, before a
+// checkpoint-resumed run can silently diverge.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Core{}, []string{
+		"fetchIdx", "fetchHoldBy", "fetchFreeAt",
+		"now", "nextID",
+		"rob", "robHead", "robTail",
+		"lq", "lqHead", "lqTail",
+		"sb", "sbHead", "sbTail",
+		"aq", "aqHead", "aqTail",
+		"rename",
+		"readyQ", "lazyWait", "storeBlocked", "fenceBlocked",
+		"lockWait", "orderWait", "fenceIDs",
+		"wheel",
+		"bp", "ss", "cp",
+		"l1i", "l1iLastLine", "l1iMisses",
+		"memPortsUsed", "drainBusy",
+		"done", "finishedAt",
+		"Stats",
+	}, map[string]string{
+		"id":          "construction-time identity, fixed by system wiring",
+		"cfg":         "construction-time configuration, part of the checkpoint content key",
+		"prog":        "pure function of (params, cores, instrs, seed); regenerated, ROB entries rebind by program index",
+		"robMask":     "derived from the ROB size at construction",
+		"mem":         "attached cache, snapshotted separately as CacheSnap",
+		"l1iLineMask": "derived from the line size at construction",
+		"sink":        "wiring; provably empty at checkpoint instants (RunCtx checks it earlier in the cycle)",
+	})
+
+	snapcheck.Assert(t, robEntry{}, []string{
+		"valid", "id", "pi", "in", // in is serialized as the program index (Pi)
+		"st", "srcPending", "token", "deps",
+		"dispatchAt", "completeAt",
+		"line", "addrReady", "lq", "sb", "aq",
+		"waitStoreID", "mispred", "valueReady",
+		"lazy", "predContended", "addrCalcDone",
+		"locked", "lockAt", "lockIssueAt",
+	}, nil)
+
+	snapcheck.Assert(t, sbEntry{}, []string{
+		"id", "slot", "line", "addrReady", "committed", "isAtomic", "noWrite",
+	}, nil)
+
+	snapcheck.Assert(t, lqEntry{}, []string{
+		"id", "slot", "line", "hasLine", "isAtomic", "done",
+	}, nil)
+
+	snapcheck.Assert(t, aqEntry{}, []string{
+		"id", "slot", "pc", "line", "hasAddr",
+		"locked", "contended", "issuedAt", "lockAt",
+		"predContended", "trainable",
+	}, nil)
+
+	snapcheck.Assert(t, wheelEvent{}, []string{
+		"slot", "id", "token", "kind",
+	}, nil)
+
+	snapcheck.Assert(t, depRef{}, []string{"slot", "id"}, nil)
+}

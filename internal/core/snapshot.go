@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+
+	"rowsim/internal/predictor"
+	"rowsim/internal/sram"
+	"rowsim/internal/trace"
+)
+
+// Snapshot/Restore for the out-of-order core: the checkpoint half that
+// rowcheck never needed (the model checker drives tiny hand-rolled
+// programs, not the full pipeline). A snapshot deep-copies every field
+// that evolves during a run.
+//
+// Two rules keep restored runs byte-identical to uninterrupted ones:
+//
+//   - Ring buffers (ROB, LQ, SB, AQ, execution wheel) are serialized in
+//     full, dead slots included. A dead ROB slot still carries its token
+//     counter, which dispatch reads to invalidate stale wheel events —
+//     dropping dead slots would fork the token sequence.
+//   - Instruction pointers are serialized as program indexes. The trace
+//     is a pure function of (params, cores, instrs, seed), so the caller
+//     regenerates it and Restore rebinds in = &prog[pi]; the checkpoint
+//     never stores the trace itself.
+//
+// Construction-time state (config, robMask, l1iLineMask, the attached
+// cache and error sink) is rebuilt by core.New and excluded.
+
+// DepRef is the exported view of one dependence edge.
+type DepRef struct {
+	Slot uint32 `json:"slot"`
+	ID   uint64 `json:"id"`
+}
+
+// ROBEntrySnap is the exported view of one reorder-buffer slot. In is
+// represented by Pi, the program index (-1 when the slot never held an
+// instruction).
+type ROBEntrySnap struct {
+	Valid bool   `json:"valid"`
+	ID    uint64 `json:"id"`
+	Pi    int32  `json:"pi"`
+	St    uint8  `json:"st"`
+
+	SrcPending int8     `json:"src_pending"`
+	Token      uint16   `json:"token"`
+	Deps       []DepRef `json:"deps"`
+
+	DispatchAt uint64 `json:"dispatch_at"`
+	CompleteAt uint64 `json:"complete_at"`
+
+	Line      uint64 `json:"line"`
+	AddrReady bool   `json:"addr_ready"`
+	LQ        int64  `json:"lq"`
+	SB        int64  `json:"sb"`
+	AQ        int64  `json:"aq"`
+
+	WaitStoreID uint64 `json:"wait_store_id"`
+	Mispred     bool   `json:"mispred"`
+	ValueReady  bool   `json:"value_ready"`
+
+	Lazy          bool   `json:"lazy"`
+	PredContended bool   `json:"pred_contended"`
+	AddrCalcDone  bool   `json:"addr_calc_done"`
+	Locked        bool   `json:"locked"`
+	LockAt        uint64 `json:"lock_at"`
+	LockIssueAt   uint64 `json:"lock_issue_at"`
+}
+
+// SBEntrySnap is the exported view of one store-buffer slot.
+type SBEntrySnap struct {
+	ID        uint64 `json:"id"`
+	Slot      uint32 `json:"slot"`
+	Line      uint64 `json:"line"`
+	AddrReady bool   `json:"addr_ready"`
+	Committed bool   `json:"committed"`
+	IsAtomic  bool   `json:"is_atomic"`
+	NoWrite   bool   `json:"no_write"`
+}
+
+// LQEntrySnap is the exported view of one load-queue slot.
+type LQEntrySnap struct {
+	ID       uint64 `json:"id"`
+	Slot     uint32 `json:"slot"`
+	Line     uint64 `json:"line"`
+	HasLine  bool   `json:"has_line"`
+	IsAtomic bool   `json:"is_atomic"`
+	Done     bool   `json:"done"`
+}
+
+// AQEntrySnap is the exported view of one Atomic Queue slot.
+type AQEntrySnap struct {
+	ID        uint64 `json:"id"`
+	Slot      uint32 `json:"slot"`
+	PC        uint64 `json:"pc"`
+	Line      uint64 `json:"line"`
+	HasAddr   bool   `json:"has_addr"`
+	Locked    bool   `json:"locked"`
+	Contended bool   `json:"contended"`
+	IssuedAt  uint64 `json:"issued_at"`
+	LockAt    uint64 `json:"lock_at"`
+
+	PredContended bool `json:"pred_contended"`
+	Trainable     bool `json:"trainable"`
+}
+
+// WheelEventSnap is the exported view of one scheduled completion.
+type WheelEventSnap struct {
+	Slot  uint32 `json:"slot"`
+	ID    uint64 `json:"id"`
+	Token uint16 `json:"token"`
+	Kind  uint8  `json:"kind"`
+}
+
+// CoreSnap is a deep copy of the core's mutable state.
+type CoreSnap struct {
+	FetchIdx    int    `json:"fetch_idx"`
+	FetchHoldBy uint64 `json:"fetch_hold_by"`
+	FetchFreeAt uint64 `json:"fetch_free_at"`
+
+	Now    uint64 `json:"now"`
+	NextID uint64 `json:"next_id"`
+
+	ROB     []ROBEntrySnap `json:"rob"`
+	ROBHead int64          `json:"rob_head"`
+	ROBTail int64          `json:"rob_tail"`
+
+	LQ     []LQEntrySnap `json:"lq"`
+	LQHead int64         `json:"lq_head"`
+	LQTail int64         `json:"lq_tail"`
+	SB     []SBEntrySnap `json:"sb"`
+	SBHead int64         `json:"sb_head"`
+	SBTail int64         `json:"sb_tail"`
+	AQ     []AQEntrySnap `json:"aq"`
+	AQHead int64         `json:"aq_head"`
+	AQTail int64         `json:"aq_tail"`
+
+	Rename []DepRef `json:"rename"`
+
+	ReadyQ       []DepRef `json:"ready_q"`
+	LazyWait     []DepRef `json:"lazy_wait"`
+	StoreBlocked []DepRef `json:"store_blocked"`
+	FenceBlocked []DepRef `json:"fence_blocked"`
+	LockWait     []DepRef `json:"lock_wait"`
+	OrderWait    []DepRef `json:"order_wait"`
+	FenceIDs     []uint64 `json:"fence_ids"`
+
+	Wheel [][]WheelEventSnap `json:"wheel"`
+
+	BP predictor.BranchSnap      `json:"bp"`
+	SS predictor.StoreSetSnap    `json:"ss"`
+	CP *predictor.ContentionSnap `json:"cp,omitempty"` // nil unless policy RoW
+
+	L1I         sram.Snap `json:"l1i"`
+	L1ILastLine uint64    `json:"l1i_last_line"`
+	L1IMisses   uint64    `json:"l1i_misses"`
+
+	MemPortsUsed int    `json:"mem_ports_used"`
+	DrainBusy    bool   `json:"drain_busy"`
+	Done         bool   `json:"done"`
+	FinishedAt   uint64 `json:"finished_at"`
+
+	Stats Stats `json:"stats"`
+}
+
+func snapDeps(ds []depRef) []DepRef {
+	out := make([]DepRef, 0, len(ds))
+	for _, d := range ds {
+		out = append(out, DepRef{Slot: d.slot, ID: d.id})
+	}
+	return out
+}
+
+func restoreDeps(ds []DepRef) []depRef {
+	var out []depRef
+	for _, d := range ds {
+		out = append(out, depRef{slot: d.Slot, id: d.ID})
+	}
+	return out
+}
+
+// Snapshot captures the core's full pipeline state.
+func (c *Core) Snapshot() CoreSnap {
+	s := CoreSnap{
+		FetchIdx:     c.fetchIdx,
+		FetchHoldBy:  c.fetchHoldBy,
+		FetchFreeAt:  c.fetchFreeAt,
+		Now:          c.now,
+		NextID:       c.nextID,
+		ROBHead:      c.robHead,
+		ROBTail:      c.robTail,
+		LQHead:       c.lqHead,
+		LQTail:       c.lqTail,
+		SBHead:       c.sbHead,
+		SBTail:       c.sbTail,
+		AQHead:       c.aqHead,
+		AQTail:       c.aqTail,
+		ReadyQ:       snapDeps(c.readyQ),
+		LazyWait:     snapDeps(c.lazyWait),
+		StoreBlocked: snapDeps(c.storeBlocked),
+		FenceBlocked: snapDeps(c.fenceBlocked),
+		LockWait:     snapDeps(c.lockWait),
+		OrderWait:    snapDeps(c.orderWait),
+		FenceIDs:     append([]uint64(nil), c.fenceIDs...),
+		BP:           c.bp.Snapshot(),
+		SS:           c.ss.Snapshot(),
+		L1I:          c.l1i.Snapshot(),
+		L1ILastLine:  c.l1iLastLine,
+		L1IMisses:    c.l1iMisses,
+		MemPortsUsed: c.memPortsUsed,
+		DrainBusy:    c.drainBusy,
+		Done:         c.done,
+		FinishedAt:   c.finishedAt,
+		Stats:        c.Stats,
+	}
+	s.Stats.LockHold = c.Stats.LockHold.Clone()
+	if c.cp != nil {
+		cp := c.cp.Snapshot()
+		s.CP = &cp
+	}
+	s.Rename = make([]DepRef, trace.NumRegs)
+	for i, r := range c.rename {
+		s.Rename[i] = DepRef{Slot: r.slot, ID: r.id}
+	}
+	s.ROB = make([]ROBEntrySnap, len(c.rob))
+	for i := range c.rob {
+		e := &c.rob[i]
+		pi := int32(-1)
+		if e.in != nil {
+			pi = e.pi
+		}
+		s.ROB[i] = ROBEntrySnap{
+			Valid: e.valid, ID: e.id, Pi: pi, St: uint8(e.st),
+			SrcPending: e.srcPending, Token: e.token, Deps: snapDeps(e.deps),
+			DispatchAt: e.dispatchAt, CompleteAt: e.completeAt,
+			Line: e.line, AddrReady: e.addrReady, LQ: e.lq, SB: e.sb, AQ: e.aq,
+			WaitStoreID: e.waitStoreID, Mispred: e.mispred, ValueReady: e.valueReady,
+			Lazy: e.lazy, PredContended: e.predContended, AddrCalcDone: e.addrCalcDone,
+			Locked: e.locked, LockAt: e.lockAt, LockIssueAt: e.lockIssueAt,
+		}
+	}
+	s.LQ = make([]LQEntrySnap, len(c.lq))
+	for i, e := range c.lq {
+		s.LQ[i] = LQEntrySnap{ID: e.id, Slot: e.slot, Line: e.line, HasLine: e.hasLine, IsAtomic: e.isAtomic, Done: e.done}
+	}
+	s.SB = make([]SBEntrySnap, len(c.sb))
+	for i, e := range c.sb {
+		s.SB[i] = SBEntrySnap{ID: e.id, Slot: e.slot, Line: e.line, AddrReady: e.addrReady, Committed: e.committed, IsAtomic: e.isAtomic, NoWrite: e.noWrite}
+	}
+	s.AQ = make([]AQEntrySnap, len(c.aq))
+	for i, e := range c.aq {
+		s.AQ[i] = AQEntrySnap{
+			ID: e.id, Slot: e.slot, PC: e.pc, Line: e.line, HasAddr: e.hasAddr,
+			Locked: e.locked, Contended: e.contended, IssuedAt: e.issuedAt, LockAt: e.lockAt,
+			PredContended: e.predContended, Trainable: e.trainable,
+		}
+	}
+	s.Wheel = make([][]WheelEventSnap, len(c.wheel))
+	for b, evs := range c.wheel {
+		for _, ev := range evs {
+			s.Wheel[b] = append(s.Wheel[b], WheelEventSnap{Slot: ev.slot, ID: ev.id, Token: ev.token, Kind: ev.kind})
+		}
+	}
+	return s
+}
+
+// Restore rewinds the core to a previously captured CoreSnap. The core
+// must have been built by core.New with the same configuration and the
+// same (regenerated) program — instruction pointers are rebound to
+// prog by the serialized program indexes.
+func (c *Core) Restore(s CoreSnap) {
+	if len(s.ROB) != len(c.rob) || len(s.LQ) != len(c.lq) || len(s.SB) != len(c.sb) || len(s.AQ) != len(c.aq) {
+		panic(fmt.Sprintf("core: restoring snapshot with rings rob=%d lq=%d sb=%d aq=%d into core with rob=%d lq=%d sb=%d aq=%d",
+			len(s.ROB), len(s.LQ), len(s.SB), len(s.AQ), len(c.rob), len(c.lq), len(c.sb), len(c.aq)))
+	}
+	c.fetchIdx = s.FetchIdx
+	c.fetchHoldBy = s.FetchHoldBy
+	c.fetchFreeAt = s.FetchFreeAt
+	c.now = s.Now
+	c.nextID = s.NextID
+	c.robHead, c.robTail = s.ROBHead, s.ROBTail
+	c.lqHead, c.lqTail = s.LQHead, s.LQTail
+	c.sbHead, c.sbTail = s.SBHead, s.SBTail
+	c.aqHead, c.aqTail = s.AQHead, s.AQTail
+	for i := range c.rename {
+		c.rename[i] = depRef{slot: s.Rename[i].Slot, id: s.Rename[i].ID}
+	}
+	c.readyQ = restoreDeps(s.ReadyQ)
+	c.lazyWait = restoreDeps(s.LazyWait)
+	c.storeBlocked = restoreDeps(s.StoreBlocked)
+	c.fenceBlocked = restoreDeps(s.FenceBlocked)
+	c.lockWait = restoreDeps(s.LockWait)
+	c.orderWait = restoreDeps(s.OrderWait)
+	c.fenceIDs = append(c.fenceIDs[:0], s.FenceIDs...)
+	c.bp.Restore(s.BP)
+	c.ss.Restore(s.SS)
+	if c.cp != nil && s.CP != nil {
+		c.cp.Restore(*s.CP)
+	}
+	c.l1i.Restore(s.L1I)
+	c.l1iLastLine = s.L1ILastLine
+	c.l1iMisses = s.L1IMisses
+	c.memPortsUsed = s.MemPortsUsed
+	c.drainBusy = s.DrainBusy
+	c.done = s.Done
+	c.finishedAt = s.FinishedAt
+	c.Stats = s.Stats
+	c.Stats.LockHold = s.Stats.LockHold.Clone()
+
+	for i := range c.rob {
+		e := &s.ROB[i]
+		var in *trace.Instr
+		if e.Pi >= 0 && int(e.Pi) < len(c.prog) {
+			in = &c.prog[e.Pi]
+		}
+		c.rob[i] = robEntry{
+			valid: e.Valid, id: e.ID, pi: e.Pi, in: in, st: state(e.St),
+			srcPending: e.SrcPending, token: e.Token, deps: restoreDeps(e.Deps),
+			dispatchAt: e.DispatchAt, completeAt: e.CompleteAt,
+			line: e.Line, addrReady: e.AddrReady, lq: e.LQ, sb: e.SB, aq: e.AQ,
+			waitStoreID: e.WaitStoreID, mispred: e.Mispred, valueReady: e.ValueReady,
+			lazy: e.Lazy, predContended: e.PredContended, addrCalcDone: e.AddrCalcDone,
+			locked: e.Locked, lockAt: e.LockAt, lockIssueAt: e.LockIssueAt,
+		}
+	}
+	for i, e := range s.LQ {
+		c.lq[i] = lqEntry{id: e.ID, slot: e.Slot, line: e.Line, hasLine: e.HasLine, isAtomic: e.IsAtomic, done: e.Done}
+	}
+	for i, e := range s.SB {
+		c.sb[i] = sbEntry{id: e.ID, slot: e.Slot, line: e.Line, addrReady: e.AddrReady, committed: e.Committed, isAtomic: e.IsAtomic, noWrite: e.NoWrite}
+	}
+	for i, e := range s.AQ {
+		c.aq[i] = aqEntry{
+			id: e.ID, slot: e.Slot, pc: e.PC, line: e.Line, hasAddr: e.HasAddr,
+			locked: e.Locked, contended: e.Contended, issuedAt: e.IssuedAt, lockAt: e.LockAt,
+			predContended: e.PredContended, trainable: e.Trainable,
+		}
+	}
+	for b := range c.wheel {
+		c.wheel[b] = c.wheel[b][:0]
+		for _, ev := range s.Wheel[b] {
+			c.wheel[b] = append(c.wheel[b], wheelEvent{slot: ev.Slot, id: ev.ID, token: ev.Token, kind: ev.Kind})
+		}
+	}
+}

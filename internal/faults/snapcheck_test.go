@@ -1,0 +1,21 @@
+package faults
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard for
+// the fault injector: the PRNG stream position is the state that makes
+// a resumed faulty run take exactly the decisions the uninterrupted
+// run would have.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Injector{}, []string{
+		"rng",   // serialized as RNGState
+		"stats", // decision counters reach the final Result
+	}, map[string]string{
+		"cfg": "construction-time configuration, part of the checkpoint content key",
+		"buf": "per-call scratch; never carries state across deliveries",
+	})
+}

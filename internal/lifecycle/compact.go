@@ -1,0 +1,76 @@
+package lifecycle
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// CompactFile rewrites the journal at path to its minimal equivalent:
+// the meta record, every sweep record in admission order, and only the
+// newest record per run/cell key (latest-wins is exactly the semantics
+// Load applies, so replaying the compacted journal reconstructs the
+// same state the full journal would — a daemon's queue after a year of
+// cell transitions reloads from a file proportional to the number of
+// cells, not the number of transitions).
+//
+// The rewrite is atomic (temp+fsync+rename): a crash mid-compaction
+// leaves the original journal untouched. The journal must not be open
+// for appending — compaction is for quiesced journals (rowserve runs
+// it on graceful drain, after the queue has closed).
+func CompactFile(path string) error {
+	snap, _, err := Load(path)
+	if err != nil {
+		return fmt.Errorf("lifecycle: compact %s: %w", path, err)
+	}
+	keys := make([]string, 0, len(snap.Runs))
+	for k := range snap.Runs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+
+	tmp := path + ".compact"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	write := func(rec Record) {
+		if err != nil {
+			return
+		}
+		var line []byte
+		if line, err = json.Marshal(rec); err != nil {
+			return
+		}
+		_, err = f.Write(append(line, '\n'))
+	}
+	err = nil
+	write(snap.Meta)
+	for _, sw := range snap.Sweeps {
+		write(sw)
+	}
+	for _, k := range keys {
+		write(snap.Runs[k])
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("lifecycle: compact %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if d, derr := os.Open(filepath.Dir(path)); derr == nil {
+		d.Sync()
+		d.Close()
+	}
+	return nil
+}

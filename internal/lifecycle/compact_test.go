@@ -1,0 +1,84 @@
+package lifecycle
+
+import (
+	"bufio"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestCompactFile: a journal with many transitions per key compacts to
+// one record per key — and the compacted file loads into exactly the
+// snapshot the full journal produced.
+func TestCompactFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	jnl, err := Create(path, Record{Tool: "rowserve", Args: map[string]string{"format": "test"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jnl.Append(Record{Kind: "sweep", Sweep: "sw-1", Tenant: "alice"})
+	for _, key := range []string{"sw-1/a", "sw-1/b", "sw-1/c"} {
+		jnl.Append(Record{Kind: "cell", Sweep: "sw-1", Key: key, Seed: 1, Status: StatusRunning})
+	}
+	jnl.Append(Record{Kind: "cell", Sweep: "sw-1", Key: "sw-1/a", Seed: 1, Status: StatusOK, Attempts: 1})
+	jnl.Append(Record{Kind: "cell", Sweep: "sw-1", Key: "sw-1/b", Seed: 1, Status: StatusFailed, Attempts: 2, Error: "boom"})
+	// sw-1/c's latest record stays "running" (killed mid-run).
+	if err := jnl.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	before, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := CompactFile(path); err != nil {
+		t.Fatal(err)
+	}
+	after, _, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(before.Runs, after.Runs) {
+		t.Errorf("runs diverge after compaction:\nbefore %+v\nafter  %+v", before.Runs, after.Runs)
+	}
+	if !reflect.DeepEqual(before.Sweeps, after.Sweeps) {
+		t.Errorf("sweeps diverge after compaction")
+	}
+	if !reflect.DeepEqual(before.Meta, after.Meta) {
+		t.Errorf("meta diverges after compaction")
+	}
+
+	// Minimality: meta + 1 sweep + 3 cells = 5 lines (was 7).
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	lines := 0
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		lines++
+	}
+	if lines != 5 {
+		t.Errorf("compacted journal has %d lines, want 5", lines)
+	}
+
+	// Idempotent: compacting a compacted journal changes nothing.
+	data1, _ := os.ReadFile(path)
+	if err := CompactFile(path); err != nil {
+		t.Fatal(err)
+	}
+	data2, _ := os.ReadFile(path)
+	if string(data1) != string(data2) {
+		t.Error("second compaction changed the file")
+	}
+}
+
+// TestCompactFileMissing: compacting a nonexistent journal errors
+// instead of creating one.
+func TestCompactFileMissing(t *testing.T) {
+	if err := CompactFile(filepath.Join(t.TempDir(), "nope.jsonl")); err == nil {
+		t.Fatal("want error for missing journal")
+	}
+}

@@ -52,6 +52,11 @@ type Record struct {
 	Class    string      `json:"class,omitempty"` // retry class of the final error
 	Error    string      `json:"error,omitempty"`
 	Result   *sim.Result `json:"result,omitempty"` // set when Status == ok
+
+	// Checkpoint is the job's durable checkpoint path, when mid-run
+	// checkpointing was enabled (observability: where recovery state
+	// lived, and where to look if it was left behind).
+	Checkpoint string `json:"checkpoint,omitempty"`
 }
 
 // Outcome converts a journaled run record back into the outcome the

@@ -126,6 +126,13 @@ func sleep(ctx context.Context, d time.Duration) error {
 type Job struct {
 	Key  string
 	Seed uint64
+	// Checkpoint, when non-empty, is the path of the job's durable
+	// mid-run checkpoint lineage (see internal/checkpoint). The
+	// supervisor does not read or write it — the attempt function owns
+	// checkpointing, and a retried attempt resumes from whatever its
+	// failed predecessor persisted — but the path is journaled with the
+	// outcome so operators can locate and audit recovery state.
+	Checkpoint string
 }
 
 // AttemptFunc executes one attempt of a job. The context carries the
@@ -162,11 +169,12 @@ func (s *Supervisor) Do(ctx context.Context, job Job, fn AttemptFunc) Outcome {
 	out := s.run(ctx, job, fn)
 	if s.cfg.Journal != nil {
 		rec := Record{
-			Kind:     "run",
-			Key:      job.Key,
-			Seed:     job.Seed,
-			Status:   out.Status,
-			Attempts: out.Attempts,
+			Kind:       "run",
+			Key:        job.Key,
+			Seed:       job.Seed,
+			Status:     out.Status,
+			Attempts:   out.Attempts,
+			Checkpoint: job.Checkpoint,
 		}
 		if out.Err != nil {
 			rec.Error = out.Err.Error()

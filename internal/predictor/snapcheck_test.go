@@ -1,0 +1,35 @@
+package predictor
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard for
+// the three predictors. Predictor tables feed timing decisions, so a
+// missed field here would make a resumed run predict differently and
+// diverge from the uninterrupted one.
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Branch{}, []string{
+		"gshare", "bimodal", "chooser", "history",
+		"lookups", "mispredict",
+	}, map[string]string{
+		"mask": "derived from the table size at construction",
+	})
+
+	snapcheck.Assert(t, StoreSet{}, []string{
+		"ssit", "lfst", "nextID", "violations",
+	}, map[string]string{
+		"mask": "derived from the table size at construction",
+	})
+
+	snapcheck.Assert(t, Contention{}, []string{
+		"counters", "predictions", "correct", "predContended",
+	}, map[string]string{
+		"max":       "construction-time saturation constant",
+		"mask":      "derived from the table size at construction",
+		"threshold": "construction-time configuration",
+		"kind":      "construction-time configuration",
+	})
+}

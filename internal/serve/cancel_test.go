@@ -1,0 +1,243 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func del(t *testing.T, hs *httptest.Server, tenant, id string) (*http.Response, SweepView) {
+	t.Helper()
+	req, err := http.NewRequest("DELETE", hs.URL+"/v1/sweeps/"+id, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tenant != "" {
+		req.Header.Set("X-Tenant", tenant)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var v SweepView
+	if resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return resp, v
+}
+
+// TestServerDeleteSweep: DELETE cancels a queued sweep's pending cells,
+// is idempotent, is tenant-scoped, and survives a restart — the
+// journaled cancel marker replays, so the cells are not re-enqueued.
+func TestServerDeleteSweep(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "q.jsonl")
+	srv, hs := testServer(t, Config{Journal: journal}, false) // no workers: cells stay pending
+
+	_, v := submit(t, hs, "alice", testSpec(t, 0.2, 0.8)) // 4 cells
+
+	if resp, _ := del(t, hs, "alice", "sw-missing"); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE of a missing sweep = %d, want 404", resp.StatusCode)
+	}
+	if resp, _ := del(t, hs, "bob", v.ID); resp.StatusCode != http.StatusNotFound {
+		t.Errorf("cross-tenant DELETE = %d, want 404", resp.StatusCode)
+	}
+
+	resp, dv := del(t, hs, "alice", v.ID)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("DELETE = %d, want 200", resp.StatusCode)
+	}
+	if dv.Status != "canceled" || dv.Canceled != 4 || dv.Pending != 0 {
+		t.Fatalf("view after DELETE = %+v, want 4 canceled", dv)
+	}
+	if st := srv.Snapshot(); st.QueueDepth != 0 || st.SweepsCanceled != 1 {
+		t.Errorf("stats after DELETE: depth=%d canceled=%d", st.QueueDepth, st.SweepsCanceled)
+	}
+
+	// Idempotent: a second DELETE succeeds without double-counting.
+	resp2, dv2 := del(t, hs, "alice", v.ID)
+	if resp2.StatusCode != http.StatusOK || dv2.Status != "canceled" {
+		t.Fatalf("second DELETE = %d %+v, want 200 canceled", resp2.StatusCode, dv2)
+	}
+	if st := srv.Snapshot(); st.SweepsCanceled != 1 {
+		t.Errorf("sweeps_canceled = %d after idempotent re-delete, want 1", st.SweepsCanceled)
+	}
+
+	// Results of a canceled sweep are never final.
+	if r, _ := get(t, hs, "alice", "/v1/sweeps/"+v.ID+"/results"); r.StatusCode != http.StatusConflict {
+		t.Errorf("results of a canceled sweep = %d, want 409", r.StatusCode)
+	}
+
+	// Restart on the same journal: the cancel marker replays — the
+	// sweep stays canceled and none of its cells come back as pending.
+	if err := srv.q.close(); err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := Open(Config{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.q.close()
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	r, body := get(t, hs2, "alice", "/v1/sweeps/"+v.ID)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("GET after restart: %d %s", r.StatusCode, body)
+	}
+	var rv SweepView
+	if err := json.Unmarshal(body, &rv); err != nil {
+		t.Fatal(err)
+	}
+	if rv.Status != "canceled" || rv.Canceled != 4 || rv.Pending != 0 {
+		t.Errorf("view after restart = %+v, want canceled to persist", rv)
+	}
+	if st := srv2.Snapshot(); st.CellsRequeued != 0 {
+		t.Errorf("requeued %d cells of a deleted sweep, want 0", st.CellsRequeued)
+	}
+}
+
+// TestServerDeleteDoneSweep: a finished sweep refuses deletion with
+// 409 — its results are final and stay retrievable.
+func TestServerDeleteDoneSweep(t *testing.T) {
+	_, hs := testServer(t, Config{}, true)
+	_, v := submit(t, hs, "", testSpec(t, 0.5))
+	waitDone(t, hs, "", v.ID)
+	resp, _ := del(t, hs, "", v.ID)
+	if resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE of a done sweep = %d, want 409", resp.StatusCode)
+	}
+	if r, _ := get(t, hs, "", "/v1/sweeps/"+v.ID+"/results"); r.StatusCode != http.StatusOK {
+		t.Errorf("results after refused DELETE = %d, want 200", r.StatusCode)
+	}
+}
+
+// TestServerDeleteRunningSweep: deleting a sweep with in-flight cells
+// cancels their context; the workers settle them as canceled and the
+// sweep converges to "canceled" without waiting for the cells to run
+// to completion.
+func TestServerDeleteRunningSweep(t *testing.T) {
+	_, hs := testServer(t, Config{Workers: 2}, true)
+	// A big-instruction spec so cells are still running when the DELETE
+	// lands (and if they happen to finish first, the DELETE still
+	// observes a consistent canceled-or-conflict outcome).
+	spec := SweepSpec{Values: []float64{0.1, 0.5, 0.9}, Policies: []string{"eager", "lazy", "row"}, Cores: 4, Instrs: 20000}
+	if err := spec.Normalize(); err != nil {
+		t.Fatal(err)
+	}
+	_, v := submit(t, hs, "", spec)
+	resp, _ := del(t, hs, "", v.ID)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE of a running sweep = %d, want 200 (or 409 if it raced to done)", resp.StatusCode)
+	}
+	if resp.StatusCode == http.StatusConflict {
+		return // the sweep finished before the DELETE landed
+	}
+	waitFor(t, func() bool {
+		r, body := get(t, hs, "", "/v1/sweeps/"+v.ID)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("GET: %d", r.StatusCode)
+		}
+		var sv SweepView
+		if err := json.Unmarshal(body, &sv); err != nil {
+			t.Fatal(err)
+		}
+		return sv.Status == "canceled" && sv.Running == 0 && sv.Pending == 0
+	}, "deleted sweep never converged to canceled")
+}
+
+// TestServerCompactsJournalOnDrain: a graceful drain rewrites the
+// journal to its minimal form — one record per cell instead of the
+// full transition history — and the compacted journal replays into
+// byte-identical results.
+func TestServerCompactsJournalOnDrain(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "q.jsonl")
+	spec := testSpec(t, 0.3, 0.7) // 4 cells
+
+	srv1, err := Open(Config{Journal: journal, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs1 := httptest.NewServer(srv1.Handler())
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv1.Run(ctx) }()
+	_, v := submit(t, hs1, "", spec)
+	waitDone(t, hs1, "", v.ID)
+	_, want := get(t, hs1, "", "/v1/sweeps/"+v.ID+"/results")
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+	hs1.Close()
+
+	// 4 cells × (running + terminal) + meta + sweep = 10 lines before
+	// compaction; after, exactly meta + sweep + one line per cell.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != 2+len(spec.Cells()) {
+		t.Errorf("compacted journal has %d lines, want %d", lines, 2+len(spec.Cells()))
+	}
+
+	// The compacted journal replays into the same queue: results are
+	// byte-identical and nothing is re-run.
+	srv2, err := Open(Config{Journal: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.q.close()
+	hs2 := httptest.NewServer(srv2.Handler())
+	defer hs2.Close()
+	r, got := get(t, hs2, "", "/v1/sweeps/"+v.ID+"/results")
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("results after compaction: %d %s", r.StatusCode, got)
+	}
+	if string(want) != string(got) {
+		t.Errorf("results diverge across compact+restart:\n--- before ---\n%s--- after ---\n%s", want, got)
+	}
+	if st := srv2.Snapshot(); st.CellsResumed != 4 || st.CellsRequeued != 0 {
+		t.Errorf("after compacted replay: resumed=%d requeued=%d, want 4 and 0", st.CellsResumed, st.CellsRequeued)
+	}
+}
+
+// TestServerCheckpointLifecycle: with checkpointing on, cells run to
+// completion and leave no checkpoint files behind (terminal cells
+// clean up); a deleted sweep's checkpoints are removed too.
+func TestServerCheckpointLifecycle(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "q.jsonl")
+	srv, hs := testServer(t, Config{Journal: journal, CheckpointEvery: 256}, true)
+
+	_, v := submit(t, hs, "", testSpec(t, 0.4))
+	waitDone(t, hs, "", v.ID)
+	waitFor(t, func() bool {
+		ents, err := os.ReadDir(srv.cfg.CheckpointDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ents) == 0
+	}, "checkpoints of terminal cells were not removed")
+
+	// A deleted sweep drops its cells' checkpoints as well.
+	_, v2 := submit(t, hs, "", testSpec(t, 0.6))
+	resp, _ := del(t, hs, "", v2.ID)
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusConflict {
+		t.Fatalf("DELETE = %d", resp.StatusCode)
+	}
+	waitFor(t, func() bool {
+		ents, err := os.ReadDir(srv.cfg.CheckpointDir)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(ents) == 0
+	}, "checkpoints of a deleted sweep were not removed")
+}

@@ -97,13 +97,15 @@ type daemon struct {
 }
 
 // startDaemon launches rowserve on a free port and waits for /readyz.
-func startDaemon(t *testing.T, journal string) *daemon {
+// Extra flags (e.g. -checkpoint-every) are appended to the base set.
+func startDaemon(t *testing.T, journal string, extra ...string) *daemon {
 	t.Helper()
 	addrFile := filepath.Join(t.TempDir(), fmt.Sprintf("addr-%d", time.Now().UnixNano()))
 	d := &daemon{log: &bytes.Buffer{}}
-	d.cmd = exec.Command(rowserveBin(t),
+	args := append([]string{
 		"-addr", "127.0.0.1:0", "-addr-file", addrFile,
-		"-journal", journal, "-workers", "2")
+		"-journal", journal, "-workers", "2"}, extra...)
+	d.cmd = exec.Command(rowserveBin(t), args...)
 	d.cmd.Stdout = d.log
 	d.cmd.Stderr = d.log
 	if err := d.cmd.Start(); err != nil {
@@ -262,6 +264,159 @@ func TestChaosKill9(t *testing.T) {
 	}
 
 	auditJournal(t, journal, id)
+}
+
+// ckptSpec is heavier than chaosSpec so cells live long enough to
+// cross many checkpoint intervals: kills land while checkpoint files
+// are actively being written and rotated.
+const ckptSpec = `{"workload":"sps","param":"sharedfrac","values":[0.2,0.8],"cores":2,"instrs":3000}`
+
+const ckptCells = 6
+
+// TestChaosCheckpointKill9 is the mid-checkpoint-write chaos gate. The
+// daemon runs with a tight checkpoint cadence so saves are in flight
+// almost continuously; SIGKILL therefore lands between any two syscalls
+// of the save path (temp write, fsync, .prev rotation, rename). One
+// round additionally corrupts the newest checkpoint of every cell on
+// disk, forcing resume to fall back to the .prev generation or start
+// the cell fresh. Whatever mix of torn, stale, and missing checkpoints
+// recovery sees, the final results document must be byte-identical to
+// an uninterrupted, never-checkpointed run.
+func TestChaosCheckpointKill9(t *testing.T) {
+	if testing.Short() {
+		t.Skip("subprocess chaos harness; skipped in -short")
+	}
+	rowserveBin(t)
+
+	// Reference: uninterrupted run with checkpointing off. Resuming
+	// from checkpoints must not be observable in the results.
+	cleanJournal := filepath.Join(t.TempDir(), "clean.jsonl")
+	clean := startDaemon(t, cleanJournal)
+	code, id := clean.submit(t, ckptSpec)
+	if code != http.StatusAccepted {
+		t.Fatalf("clean submit = %d, want 202", code)
+	}
+	want := clean.waitDone(t, id)
+	clean.kill()
+
+	seed := int64(1)
+	if s := os.Getenv("ROWSIM_CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			t.Fatalf("bad ROWSIM_CHAOS_SEED %q", s)
+		}
+		seed = v
+	}
+	t.Logf("chaos schedule seed %d (replay with ROWSIM_CHAOS_SEED)", seed)
+	rng := rand.New(rand.NewSource(seed))
+
+	journal := filepath.Join(t.TempDir(), "chaos.jsonl")
+	ckptDir := journal + ".ckpt" // the daemon's default layout
+	ckptFlags := []string{"-checkpoint-every", "512"}
+	const rounds = 3
+	for round := 0; round < rounds; round++ {
+		d := startDaemon(t, journal, ckptFlags...)
+		if round == 0 {
+			code, chaosID := d.submit(t, ckptSpec)
+			if code != http.StatusAccepted {
+				t.Fatalf("chaos submit = %d, want 202", code)
+			}
+			if chaosID != id {
+				t.Fatalf("chaos sweep ID %s != clean %s", chaosID, id)
+			}
+		}
+		if round == 1 {
+			// Corruption round: kill the instant checkpoints exist so
+			// a running cell cannot finish and clean them up first,
+			// then corrupt every surviving newest-generation file —
+			// recovery must fall back to .prev or recompute, silently.
+			// The appear-then-settle race is real (a cell can complete
+			// between ReadDir and SIGKILL), so retry until a kill
+			// actually strands checkpoints on disk.
+			shredded := 0
+			for attempt := 0; attempt < 10 && shredded == 0; attempt++ {
+				if attempt > 0 {
+					d = startDaemon(t, journal, ckptFlags...)
+				}
+				waitForCheckpoint(t, ckptDir, 10*time.Second)
+				d.kill()
+				ents, err := os.ReadDir(ckptDir)
+				if err != nil && !os.IsNotExist(err) {
+					t.Fatal(err)
+				}
+				for _, e := range ents {
+					if strings.HasSuffix(e.Name(), ".ckpt") {
+						p := filepath.Join(ckptDir, e.Name())
+						if err := os.WriteFile(p, []byte("shredded"), 0o644); err != nil {
+							t.Fatal(err)
+						}
+						shredded++
+					}
+				}
+			}
+			if shredded == 0 {
+				t.Fatal("no checkpoint files survived any kill; the fallback path was not exercised")
+			}
+			t.Logf("corrupted %d checkpoint file(s) after round %d", shredded, round)
+			continue
+		}
+		// Long enough for cells to start and checkpoint repeatedly,
+		// short enough that the sweep is still in flight when killed.
+		time.Sleep(time.Duration(30+rng.Intn(250)) * time.Millisecond)
+		d.kill()
+	}
+
+	// Final restart: no more kills; the sweep completes from whatever
+	// checkpoints survived.
+	d := startDaemon(t, journal, ckptFlags...)
+	defer d.kill()
+	got := d.waitDone(t, id)
+	if !bytes.Equal(want, got) {
+		t.Errorf("results after %d mid-checkpoint SIGKILLs diverge from the uninterrupted run:\n--- clean ---\n%s--- chaos ---\n%s",
+			rounds, want, got)
+	}
+
+	// Terminal cells delete their checkpoints; once the sweep is done
+	// the directory must drain to empty (removal races settle briefly).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		ents, err := os.ReadDir(ckptDir)
+		if err != nil && !os.IsNotExist(err) {
+			t.Fatal(err)
+		}
+		if len(ents) == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			names := make([]string, 0, len(ents))
+			for _, e := range ents {
+				names = append(names, e.Name())
+			}
+			t.Errorf("checkpoint dir not drained after completion: %v", names)
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// waitForCheckpoint polls until dir contains at least one primary
+// checkpoint file (suffix .ckpt — not a .tmp in progress or a rotated
+// .prev, which resume alone cannot use).
+func waitForCheckpoint(t *testing.T, dir string, timeout time.Duration) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		ents, err := os.ReadDir(dir)
+		if err == nil {
+			for _, e := range ents {
+				if strings.HasSuffix(e.Name(), ".ckpt") {
+					return
+				}
+			}
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("no primary checkpoint appeared in %s within %v", dir, timeout)
 }
 
 // auditJournal re-reads the chaos journal and enforces the queue's

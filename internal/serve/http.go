@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 
+	"rowsim/internal/checkpoint"
 	"rowsim/internal/sim"
 )
 
@@ -76,6 +77,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/sweeps", s.handleSubmit)
 	mux.HandleFunc("GET /v1/sweeps", s.handleList)
 	mux.HandleFunc("GET /v1/sweeps/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/sweeps/{id}", s.handleDelete)
 	mux.HandleFunc("GET /v1/sweeps/{id}/results", s.handleResults)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
@@ -181,6 +183,50 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	if !ok {
 		writeErr(w, http.StatusNotFound, "no such sweep for this tenant")
 		return
+	}
+	writeJSON(w, http.StatusOK, s.viewOf(sw))
+}
+
+// handleDelete is DELETE /v1/sweeps/{id}: permanently cancel a sweep.
+// Pending cells are canceled and journaled, running cells get their
+// context canceled and settle through the worker path, and the
+// journaled cancel marker makes the deletion survive restarts.
+// Idempotent (re-deleting a canceled sweep is 200); a done sweep is
+// 409 — its results are final and stay retrievable.
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantOf(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if err := s.q.journalErr(); err != nil {
+		// A cancellation that cannot be journaled would silently undo
+		// itself on restart; refuse instead.
+		writeErr(w, http.StatusServiceUnavailable, "journal unavailable: %v", err)
+		return
+	}
+	sw, first, err := s.q.cancel(tenant, r.PathValue("id"))
+	switch {
+	case err == errSweepNotFound:
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	case err == errSweepDone:
+		writeErr(w, http.StatusConflict, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if first {
+		s.stats.add(func(b *statsBook) { b.sweepsCanceled++ })
+	}
+	// Canceled cells will never run again in any process: drop their
+	// recovery checkpoints (idempotent; running cells that settle later
+	// clean up after themselves in settle).
+	for _, c := range sw.cells {
+		if p := s.ckptPath(c.ckey); p != "" {
+			_ = checkpoint.Remove(p)
+		}
 	}
 	writeJSON(w, http.StatusOK, s.viewOf(sw))
 }

@@ -40,6 +40,11 @@ type sweepState struct {
 	cells  []*cellState
 	byKey  map[string]*cellState
 
+	// canceled marks an explicit DELETE: unlike drain-canceled cells
+	// (which a restart re-runs), a deleted sweep stays canceled across
+	// restarts — the cancel marker is journaled and replayed.
+	canceled bool
+
 	ctx    context.Context
 	cancel context.CancelFunc
 }
@@ -67,10 +72,15 @@ func (sw *sweepState) counts() (pending, running, ok, failed, degraded, canceled
 	return
 }
 
-// statusString summarizes the sweep for the API.
+// statusString summarizes the sweep for the API. "canceled" covers
+// two cases: a drain-canceled sweep (resumable — a restart re-runs
+// the canceled cells) and an explicitly deleted one (permanent — the
+// journaled cancel marker replays on restart).
 func (sw *sweepState) statusString() string {
 	pending, running, _, _, _, canceled := sw.counts()
 	switch {
+	case sw.canceled && pending+running == 0:
+		return "canceled"
 	case pending+running > 0 && running > 0:
 		return "running"
 	case pending > 0:
@@ -157,6 +167,15 @@ func openQueue(baseCtx context.Context, path string, m *memo) (*queue, int, int,
 
 	var resumed, requeued int
 	for _, rec := range snap.Sweeps {
+		if len(rec.Spec) == 0 && rec.Status == lifecycle.StatusCanceled {
+			// Cancel marker (DELETE /v1/sweeps/{id}): re-apply it to the
+			// sweep admitted earlier in the journal. An unknown sweep ID
+			// is ignored — the marker is idempotent by construction.
+			if sw, ok := q.sweeps[rec.Sweep]; ok {
+				q.cancelSweepLocked(sw, false)
+			}
+			continue
+		}
 		var spec SweepSpec
 		if err := json.Unmarshal(rec.Spec, &spec); err != nil {
 			jnl.Close()
@@ -289,6 +308,66 @@ func (q *queue) admit(baseCtx context.Context, tenant string, spec SweepSpec) (s
 	return sw, true, nil
 }
 
+// Sentinel results for cancel, mapped to HTTP codes by the handler.
+var (
+	errSweepNotFound = fmt.Errorf("no such sweep for this tenant")
+	errSweepDone     = fmt.Errorf("sweep is done; results are final")
+)
+
+// cancel permanently cancels a tenant's sweep (DELETE /v1/sweeps/{id}).
+// The cancel marker — a second "sweep" record with no spec and status
+// canceled — is journaled before any state changes, so the deletion
+// survives kill -9 and replays on restart. Pending cells transition to
+// canceled (journaled per cell) and leave the scheduling FIFO; running
+// cells get their sweep context canceled and settle as canceled through
+// the normal worker path. Idempotent: re-deleting a canceled sweep
+// succeeds (first == false) without re-journaling. A done sweep (all
+// cells terminal, results final) refuses with errSweepDone.
+func (q *queue) cancel(tenant, id string) (sw *sweepState, first bool, err error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	sw, ok := q.sweeps[id]
+	if !ok || sw.tenant != tenant {
+		return nil, false, errSweepNotFound
+	}
+	if sw.canceled {
+		return sw, false, nil
+	}
+	if sw.statusString() == "done" {
+		return nil, false, errSweepDone
+	}
+	q.jnl.Append(lifecycle.Record{
+		Kind: "sweep", Sweep: id, Tenant: tenant, Status: lifecycle.StatusCanceled,
+	})
+	if err := q.jnl.Err(); err != nil {
+		return nil, false, fmt.Errorf("serve: journal cancel: %w", err)
+	}
+	q.cancelSweepLocked(sw, true)
+	return sw, true, nil
+}
+
+// cancelSweepLocked applies a sweep cancellation: pending cells become
+// canceled and leave the FIFO, the sweep context is canceled so running
+// cells (and memo waiters) unwind. journal=false is the replay path —
+// the records already exist.
+func (q *queue) cancelSweepLocked(sw *sweepState, journal bool) {
+	sw.canceled = true
+	for _, c := range sw.cells {
+		if c.status != lifecycle.StatusPending {
+			continue
+		}
+		q.dequeueLocked(c)
+		c.status = lifecycle.StatusCanceled
+		if journal {
+			q.jnl.Append(lifecycle.Record{
+				Kind: "cell", Sweep: sw.id, Tenant: sw.tenant,
+				Key: c.jkey, Seed: sw.spec.Seed, Status: lifecycle.StatusCanceled,
+			})
+		}
+	}
+	sw.cancel()
+}
+
 // depths returns (total pending, pending for tenant) for admission
 // control.
 func (q *queue) depths(tenant string) (total, forTenant int) {
@@ -376,6 +455,13 @@ func (q *queue) sweepDoneLocked(sw *sweepState) bool {
 		}
 	}
 	return true
+}
+
+// sweepCanceled reports whether sw was explicitly deleted.
+func (q *queue) sweepCanceled(sw *sweepState) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return sw.canceled
 }
 
 // get returns a sweep by ID, tenant-scoped: a tenant can only see its

@@ -3,11 +3,14 @@ package serve
 import (
 	"context"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"rowsim/internal/checkpoint"
 	"rowsim/internal/experiments"
 	"rowsim/internal/lifecycle"
 	"rowsim/internal/sim"
@@ -47,6 +50,17 @@ type Config struct {
 
 	// JitterSeed seeds retry-backoff jitter (0 = 1).
 	JitterSeed uint64
+
+	// CheckpointEvery enables durable mid-cell checkpoints every N
+	// simulated cycles (0 = off). A cell killed mid-run — crash, drain
+	// overrun, retried panic — resumes from its newest valid checkpoint
+	// instead of cycle zero, bounding recomputation to one interval.
+	// Checkpoint files are content-addressed (the cell's memo key), so
+	// they survive daemon restarts without a manifest.
+	CheckpointEvery uint64
+	// CheckpointDir is where per-cell checkpoint files live
+	// (default: Journal + ".ckpt" when CheckpointEvery > 0).
+	CheckpointDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +115,14 @@ func Open(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Journal == "" {
 		return nil, fmt.Errorf("serve: Config.Journal is required (the journal is the queue)")
+	}
+	if cfg.CheckpointEvery > 0 {
+		if cfg.CheckpointDir == "" {
+			cfg.CheckpointDir = cfg.Journal + ".ckpt"
+		}
+		if err := os.MkdirAll(cfg.CheckpointDir, 0o755); err != nil {
+			return nil, fmt.Errorf("serve: checkpoint dir: %w", err)
+		}
 	}
 	s := &Server{
 		cfg:   cfg,
@@ -165,6 +187,15 @@ func (s *Server) Run(ctx context.Context) error {
 	if err := s.q.close(); err != nil {
 		return fmt.Errorf("serve: close journal: %w", err)
 	}
+	// Graceful drain is the natural compaction point: the journal is
+	// quiesced and every in-flight transition is flushed. The rewrite
+	// keeps only the latest record per cell (plus sweep admissions and
+	// cancel markers), so a long-lived queue reloads from a file
+	// proportional to its cells, not its history. Atomic: a crash mid
+	// compaction leaves the original journal.
+	if err := lifecycle.CompactFile(s.cfg.Journal); err != nil {
+		return fmt.Errorf("serve: compact journal: %w", err)
+	}
 	return nil
 }
 
@@ -228,7 +259,8 @@ func (s *Server) runCell(id int, c *cellState) {
 
 	s.stats.setWorker(id, "running", c.jkey)
 	spec := sw.spec
-	out := s.sup.Do(sw.ctx, lifecycle.Job{Key: c.jkey, Seed: spec.Seed}, func(runCtx context.Context) (sim.Result, error) {
+	cpath := s.ckptPath(c.ckey)
+	out := s.sup.Do(sw.ctx, lifecycle.Job{Key: c.jkey, Seed: spec.Seed, Checkpoint: cpath}, func(runCtx context.Context) (sim.Result, error) {
 		// Count contained panics at the attempt level, then re-raise so
 		// the supervisor classifies them exactly as before.
 		defer func() {
@@ -242,9 +274,25 @@ func (s *Server) runCell(id int, c *cellState) {
 			return sim.Result{}, err
 		}
 		progs := workload.Generate(wp, spec.Cores, spec.Instrs, spec.Seed)
-		sys, err := sim.New(spec.Config(c.cell), progs, sim.WithWarmFilter(workload.WarmFilter(wp)))
+		opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(wp))}
+		if cpath != "" {
+			opts = append(opts, sim.WithCheckpoint(s.cfg.CheckpointEvery, checkpoint.Saver(cpath, c.ckey)))
+		}
+		sys, err := sim.New(spec.Config(c.cell), progs, opts...)
 		if err != nil {
 			return sim.Result{}, err
+		}
+		if cpath != "" {
+			// Resume from a checkpoint left by a previous attempt or a
+			// previous daemon process. A stale or corrupt pair is a
+			// bounded loss (start fresh), never a failed cell.
+			_, resumed, _, err := checkpoint.ResumeLenient(sys, cpath, c.ckey)
+			if err != nil {
+				return sim.Result{}, err
+			}
+			if resumed {
+				s.stats.add(func(b *statsBook) { b.cellsCkptResumed++ })
+			}
 		}
 		return sys.RunCtx(runCtx)
 	})
@@ -270,9 +318,27 @@ func (s *Server) runCell(id int, c *cellState) {
 	s.settle(id, c, out, false)
 }
 
+// ckptPath maps a cell's content key to its checkpoint file, or ""
+// when checkpointing is off. Content addressing makes the mapping
+// stable across restarts: the resumed daemon recomputes the same key
+// and finds the same file, no manifest needed.
+func (s *Server) ckptPath(ckey string) string {
+	if s.cfg.CheckpointEvery == 0 {
+		return ""
+	}
+	return filepath.Join(s.cfg.CheckpointDir, ckey[:16]+".ckpt")
+}
+
 // settle journals the outcome, updates counters and idles the worker.
 func (s *Server) settle(id int, c *cellState, out lifecycle.Outcome, cached bool) {
 	s.q.complete(c, out, cached)
+	// A terminal cell no longer needs its recovery state; a canceled
+	// cell of a deleted sweep will never run again, so its checkpoint
+	// goes too. A drain-canceled cell keeps its checkpoint — that is
+	// the state the restart resumes from.
+	if p := s.ckptPath(c.ckey); p != "" && (out.Status.Terminal() || s.q.sweepCanceled(c.sweep)) {
+		_ = checkpoint.Remove(p)
+	}
 	s.stats.add(func(b *statsBook) {
 		switch out.Status {
 		case lifecycle.StatusOK:
@@ -320,30 +386,32 @@ func (s *Server) Snapshot() Stats {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	st := Stats{
-		UptimeSeconds:   time.Since(b.start).Seconds(),
-		CodeRev:         experiments.CodeRev(),
-		Journal:         s.cfg.Journal,
-		Draining:        s.draining.Load(),
-		QueueDepth:      depth,
-		TenantDepths:    tenants,
-		SweepsAccepted:  b.sweepsAccepted,
-		SweepsDeduped:   b.sweepsDeduped,
-		RejectedLoad:    b.rejectedLoad,
-		RejectedDrain:   b.rejectedDrain,
-		CellsExecuted:   b.cellsExecuted,
-		CellsFromCache:  b.cellsFromCache,
-		CellsResumed:    b.cellsResumed,
-		CellsRequeued:   b.cellsRequeued,
-		OutcomeOK:       b.okN,
-		OutcomeFailed:   b.failedN,
-		OutcomeDegraded: b.degradedN,
-		OutcomeCanceled: b.cancN,
-		Retries:         b.retries,
-		Panics:          b.panics,
-		CacheHits:       hits,
-		CacheMisses:     misses,
-		CacheEntries:    entries,
-		Workers:         append([]WorkerState(nil), b.workers...),
+		UptimeSeconds:    time.Since(b.start).Seconds(),
+		CodeRev:          experiments.CodeRev(),
+		Journal:          s.cfg.Journal,
+		Draining:         s.draining.Load(),
+		QueueDepth:       depth,
+		TenantDepths:     tenants,
+		SweepsAccepted:   b.sweepsAccepted,
+		SweepsDeduped:    b.sweepsDeduped,
+		SweepsCanceled:   b.sweepsCanceled,
+		RejectedLoad:     b.rejectedLoad,
+		RejectedDrain:    b.rejectedDrain,
+		CellsExecuted:    b.cellsExecuted,
+		CellsFromCache:   b.cellsFromCache,
+		CellsResumed:     b.cellsResumed,
+		CellsRequeued:    b.cellsRequeued,
+		CellsCkptResumed: b.cellsCkptResumed,
+		OutcomeOK:        b.okN,
+		OutcomeFailed:    b.failedN,
+		OutcomeDegraded:  b.degradedN,
+		OutcomeCanceled:  b.cancN,
+		Retries:          b.retries,
+		Panics:           b.panics,
+		CacheHits:        hits,
+		CacheMisses:      misses,
+		CacheEntries:     entries,
+		Workers:          append([]WorkerState(nil), b.workers...),
 	}
 	if total := hits + misses; total > 0 {
 		st.CacheHitRate = float64(hits) / float64(total)

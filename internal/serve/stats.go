@@ -25,14 +25,16 @@ type Stats struct {
 	TenantDepths map[string]int `json:"tenant_depths,omitempty"`
 
 	SweepsAccepted uint64 `json:"sweeps_accepted"`
-	SweepsDeduped  uint64 `json:"sweeps_deduped"` // idempotent resubmissions
-	RejectedLoad   uint64 `json:"rejected_429"`   // shed by admission control
-	RejectedDrain  uint64 `json:"rejected_503"`   // refused while draining/broken
+	SweepsDeduped  uint64 `json:"sweeps_deduped"`  // idempotent resubmissions
+	SweepsCanceled uint64 `json:"sweeps_canceled"` // explicit DELETEs
+	RejectedLoad   uint64 `json:"rejected_429"`    // shed by admission control
+	RejectedDrain  uint64 `json:"rejected_503"`    // refused while draining/broken
 
-	CellsExecuted  uint64 `json:"cells_executed"`   // computed by a worker
-	CellsFromCache uint64 `json:"cells_from_cache"` // served by the memo
-	CellsResumed   uint64 `json:"cells_resumed"`    // served from the journal at startup
-	CellsRequeued  uint64 `json:"cells_requeued"`   // re-enqueued at startup
+	CellsExecuted    uint64 `json:"cells_executed"`     // computed by a worker
+	CellsFromCache   uint64 `json:"cells_from_cache"`   // served by the memo
+	CellsResumed     uint64 `json:"cells_resumed"`      // served from the journal at startup
+	CellsRequeued    uint64 `json:"cells_requeued"`     // re-enqueued at startup
+	CellsCkptResumed uint64 `json:"cells_ckpt_resumed"` // resumed mid-run from a checkpoint
 
 	OutcomeOK       uint64 `json:"outcome_ok"`
 	OutcomeFailed   uint64 `json:"outcome_failed"`
@@ -57,9 +59,11 @@ type statsBook struct {
 	workers []WorkerState
 
 	sweepsAccepted, sweepsDeduped  uint64
+	sweepsCanceled                 uint64
 	rejectedLoad, rejectedDrain    uint64
 	cellsExecuted, cellsFromCache  uint64
 	cellsResumed, cellsRequeued    uint64
+	cellsCkptResumed               uint64
 	okN, failedN, degradedN, cancN uint64
 	retries, panics                uint64
 }

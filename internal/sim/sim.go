@@ -36,6 +36,10 @@ type System struct {
 	watchdog   uint64
 	crossCheck bool
 
+	ckptEvery uint64
+	ckptFn    func(cycle uint64, snap *SysSnap) error
+	lastCkpt  uint64
+
 	cycle uint64
 }
 
@@ -74,6 +78,21 @@ func WithFaults(cfg faults.Config) Option {
 // the skipping it checks).
 func WithCrossCheck() Option {
 	return func(s *System) { s.crossCheck = true }
+}
+
+// WithCheckpoint arranges for fn to receive a full system snapshot
+// every `every` simulated cycles (coarsened to the existing 1024-cycle
+// cold-block cadence, so the per-cycle hot path pays nothing — with
+// checkpointing off the only cost is one predictable compare every
+// 1024 cycles). fn runs with the error sink checked empty and the
+// simulated clock frozen; an error from fn aborts the run. Checkpoint
+// cycles depend only on the cadence, never on wall-clock time, so two
+// runs of the same workload checkpoint at identical instants.
+func WithCheckpoint(every uint64, fn func(cycle uint64, snap *SysSnap) error) Option {
+	return func(s *System) {
+		s.ckptEvery = every
+		s.ckptFn = fn
+	}
 }
 
 // WithWatchdogWindow overrides the no-progress watchdog horizon
@@ -336,6 +355,13 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 				lastProgress = cyc
 			} else if cyc-lastProgress > watchdog {
 				return Result{}, s.diagnoseDeadlock(watchdog)
+			}
+			if s.ckptEvery != 0 && cyc-s.lastCkpt >= s.ckptEvery {
+				s.lastCkpt = cyc
+				snap := s.Snapshot()
+				if err := s.ckptFn(cyc, &snap); err != nil {
+					return Result{}, fmt.Errorf("sim: checkpoint at cycle %d: %w", cyc, err)
+				}
 			}
 		}
 	}

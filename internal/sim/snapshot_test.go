@@ -1,0 +1,160 @@
+package sim
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"rowsim/internal/config"
+	"rowsim/internal/faults"
+	"rowsim/internal/workload"
+)
+
+// snapCfg builds the reference configuration the round-trip tests run:
+// small enough to finish fast, RoW so every optional structure (AQ,
+// contention predictor) is live.
+func snapCfg(policy config.AtomicPolicy) *config.Config {
+	cfg := config.Default()
+	cfg.NumCores = 4
+	cfg.Policy = policy
+	cfg.MaxCycles = 50_000_000
+	return cfg
+}
+
+// runToEnd runs the system and returns the result plus the final
+// system snapshot (the strongest equality witness: every counter and
+// table, not just the aggregated Result).
+func runToEnd(t *testing.T, s *System) (Result, SysSnap) {
+	t.Helper()
+	r, err := s.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r, s.Snapshot()
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestSnapshotResumeByteIdentical is the core checkpoint correctness
+// property at the in-memory level: capture a snapshot mid-run, rebuild
+// a fresh system from scratch (regenerated programs), restore, resume
+// — the final Result and the final full-system snapshot must be
+// byte-identical to the uninterrupted run's.
+func TestSnapshotResumeByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		policy config.AtomicPolicy
+		wl     string
+		faults faults.Config
+	}{
+		{name: "row_sps", policy: config.PolicyRoW, wl: "sps"},
+		{name: "eager_pc", policy: config.PolicyEager, wl: "pc"},
+		{name: "row_sps_jitter", policy: config.PolicyRoW, wl: "sps",
+			faults: faults.Config{Seed: 9, JitterProb: 0.3, JitterMax: 12}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := snapCfg(tc.policy)
+			p := workload.MustGet(tc.wl)
+			build := func() *System {
+				progs := workload.Generate(p, cfg.NumCores, 6000, 11)
+				opts := []Option{WithWarmFilter(workload.WarmFilter(p))}
+				if tc.faults != (faults.Config{}) {
+					opts = append(opts, WithFaults(tc.faults))
+				}
+				s, err := New(cfg, progs, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return s
+			}
+
+			wantRes, wantSnap := runToEnd(t, build())
+
+			// Second run: capture snapshots at a cadence and keep the
+			// middle one, so the resume exercises genuinely in-flight
+			// state (non-empty ROBs, MSHRs, mesh traffic).
+			var snaps []SysSnap
+			s := build()
+			s.ckptEvery = 2048
+			s.ckptFn = func(cycle uint64, snap *SysSnap) error {
+				snaps = append(snaps, *snap)
+				return nil
+			}
+			midRes, err := s.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(midRes, wantRes) {
+				t.Fatalf("checkpointing perturbed the run:\n got %+v\nwant %+v", midRes, wantRes)
+			}
+			if len(snaps) < 2 {
+				t.Fatalf("expected at least 2 checkpoints, got %d (run too short for the cadence?)", len(snaps))
+			}
+			mid := snaps[len(snaps)/2]
+
+			// Round-trip the snapshot through JSON first: the on-disk
+			// checkpoint stores exactly this encoding, so the resumed
+			// state must survive serialization, not just copying.
+			var decoded SysSnap
+			if err := json.Unmarshal(mustJSON(t, &mid), &decoded); err != nil {
+				t.Fatal(err)
+			}
+
+			resumed := build()
+			if err := resumed.RestoreSnap(&decoded); err != nil {
+				t.Fatal(err)
+			}
+			if resumed.Cycle() != mid.Cycle {
+				t.Fatalf("restored cycle %d, snapshot says %d", resumed.Cycle(), mid.Cycle)
+			}
+			gotRes, gotSnap := runToEnd(t, resumed)
+
+			if !reflect.DeepEqual(gotRes, wantRes) {
+				t.Fatalf("resumed result diverged:\n got %+v\nwant %+v", gotRes, wantRes)
+			}
+			gotB, wantB := mustJSON(t, gotSnap), mustJSON(t, wantSnap)
+			if string(gotB) != string(wantB) {
+				t.Fatalf("resumed final state diverged from uninterrupted run (snapshots differ, %d vs %d bytes)", len(gotB), len(wantB))
+			}
+		})
+	}
+}
+
+// TestRestoreSnapShapeMismatch: restoring into a differently shaped
+// system must fail cleanly, not corrupt state or panic.
+func TestRestoreSnapShapeMismatch(t *testing.T) {
+	cfg := snapCfg(config.PolicyRoW)
+	p := workload.MustGet("sps")
+	s, err := New(cfg, workload.Generate(p, cfg.NumCores, 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Snapshot()
+
+	other := snapCfg(config.PolicyRoW)
+	other.NumCores = 2
+	s2, err := New(other, workload.Generate(p, other.NumCores, 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s2.RestoreSnap(&snap); err == nil {
+		t.Fatal("restoring a 4-core snapshot into a 2-core system succeeded")
+	}
+
+	// Fault-injector state into a faultless system must also refuse.
+	s3, err := New(cfg, workload.Generate(p, cfg.NumCores, 500, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap.Faults.RNGState = 42
+	if err := s3.RestoreSnap(&snap); err == nil {
+		t.Fatal("restoring injector state into a faultless system succeeded")
+	}
+}

@@ -1,0 +1,23 @@
+package sram
+
+import (
+	"testing"
+
+	"rowsim/internal/snapcheck"
+)
+
+// TestSnapshotCoversEveryField is the snapshot-completeness guard for
+// the SRAM array (and the Line record its snapshot copies wholesale).
+func TestSnapshotCoversEveryField(t *testing.T) {
+	snapcheck.Assert(t, Array{}, []string{
+		"lines", "clock", "hits", "misses",
+	}, map[string]string{
+		"sets":      "construction-time geometry",
+		"ways":      "construction-time geometry",
+		"lineShift": "construction-time geometry",
+	})
+
+	snapcheck.Assert(t, Line{}, []string{
+		"Valid", "Tag", "Meta", "LRU",
+	}, nil)
+}

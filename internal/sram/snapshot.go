@@ -2,36 +2,37 @@ package sram
 
 import "fmt"
 
-// Snap is a deep copy of an Array's mutable state. It is opaque to
-// callers: the model checker (internal/mcheck) captures one per array
-// before exploring a branch and restores it when backtracking. The
-// geometry (sets, ways, line shift) is construction-time state and is
-// not copied; a Snap may only be restored into the array it was taken
-// from, or one built with identical geometry.
+// Snap is a deep copy of an Array's mutable state. The model checker
+// (internal/mcheck) captures one per array before exploring a branch
+// and restores it when backtracking; checkpoints serialize it to disk,
+// which is why every field is exported. The geometry (sets, ways, line
+// shift) is construction-time state and is not copied; a Snap may only
+// be restored into the array it was taken from, or one built with
+// identical geometry.
 type Snap struct {
-	lines  []Line
-	clock  uint64
-	hits   uint64
-	misses uint64
+	Lines  []Line `json:"lines"`
+	Clock  uint64 `json:"clock"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
 }
 
 // Snapshot captures the array's contents, LRU clock and stats.
 func (a *Array) Snapshot() Snap {
 	return Snap{
-		lines:  append([]Line(nil), a.lines...),
-		clock:  a.clock,
-		hits:   a.hits,
-		misses: a.misses,
+		Lines:  append([]Line(nil), a.lines...),
+		Clock:  a.clock,
+		Hits:   a.hits,
+		Misses: a.misses,
 	}
 }
 
 // Restore rewinds the array to a previously captured Snap.
 func (a *Array) Restore(s Snap) {
-	if len(s.lines) != len(a.lines) {
-		panic(fmt.Sprintf("sram: restoring snapshot of %d lines into array of %d", len(s.lines), len(a.lines)))
+	if len(s.Lines) != len(a.lines) {
+		panic(fmt.Sprintf("sram: restoring snapshot of %d lines into array of %d", len(s.Lines), len(a.lines)))
 	}
-	copy(a.lines, s.lines)
-	a.clock = s.clock
-	a.hits = s.hits
-	a.misses = s.misses
+	copy(a.lines, s.Lines)
+	a.clock = s.Clock
+	a.hits = s.Hits
+	a.misses = s.Misses
 }

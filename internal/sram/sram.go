@@ -11,7 +11,7 @@ type Line struct {
 	Valid bool
 	Tag   uint64 // full line address (low bits cleared by the caller)
 	Meta  uint8  // caller-defined metadata (e.g. coherence state)
-	lru   uint64 // higher = more recently used
+	LRU   uint64 // higher = more recently used
 }
 
 // Array is a set-associative array indexed by line address.
@@ -72,7 +72,7 @@ func (a *Array) Lookup(line uint64, touch bool) *Line {
 		if set[i].Valid && set[i].Tag == line {
 			if touch {
 				a.clock++
-				set[i].lru = a.clock
+				set[i].LRU = a.clock
 			}
 			a.hits++
 			return &set[i]
@@ -115,26 +115,26 @@ func (a *Array) Insert(line uint64, meta uint8) (evictedTag uint64, evictedMeta 
 	for i := range set {
 		if set[i].Valid && set[i].Tag == line {
 			set[i].Meta = meta
-			set[i].lru = a.clock
+			set[i].LRU = a.clock
 			return 0, 0, false
 		}
 	}
 	// Free way.
 	for i := range set {
 		if !set[i].Valid {
-			set[i] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+			set[i] = Line{Valid: true, Tag: line, Meta: meta, LRU: a.clock}
 			return 0, 0, false
 		}
 	}
 	// Evict LRU.
 	victim := 0
 	for i := 1; i < len(set); i++ {
-		if set[i].lru < set[victim].lru {
+		if set[i].LRU < set[victim].LRU {
 			victim = i
 		}
 	}
 	evictedTag, evictedMeta = set[victim].Tag, set[victim].Meta
-	set[victim] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+	set[victim] = Line{Valid: true, Tag: line, Meta: meta, LRU: a.clock}
 	return evictedTag, evictedMeta, true
 }
 
@@ -144,7 +144,7 @@ func (a *Array) Insert(line uint64, meta uint8) (evictedTag uint64, evictedMeta 
 func (a *Array) InsertLRU(line uint64, meta uint8) (evictedTag uint64, evictedMeta uint8, evicted bool) {
 	t, m, e := a.Insert(line, meta)
 	if l := a.Peek(line); l != nil {
-		l.lru = 0
+		l.LRU = 0
 	}
 	return t, m, e
 }
@@ -180,13 +180,13 @@ func (a *Array) InsertVeto(line uint64, meta uint8, veto func(tag uint64) bool) 
 	for i := range set {
 		if set[i].Valid && set[i].Tag == line {
 			set[i].Meta = meta
-			set[i].lru = a.clock
+			set[i].LRU = a.clock
 			return 0, 0, false, true
 		}
 	}
 	for i := range set {
 		if !set[i].Valid {
-			set[i] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+			set[i] = Line{Valid: true, Tag: line, Meta: meta, LRU: a.clock}
 			return 0, 0, false, true
 		}
 	}
@@ -195,7 +195,7 @@ func (a *Array) InsertVeto(line uint64, meta uint8, veto func(tag uint64) bool) 
 		if veto != nil && veto(set[i].Tag) {
 			continue
 		}
-		if victim < 0 || set[i].lru < set[victim].lru {
+		if victim < 0 || set[i].LRU < set[victim].LRU {
 			victim = i
 		}
 	}
@@ -203,7 +203,7 @@ func (a *Array) InsertVeto(line uint64, meta uint8, veto func(tag uint64) bool) 
 		return 0, 0, false, false
 	}
 	evictedTag, evictedMeta = set[victim].Tag, set[victim].Meta
-	set[victim] = Line{Valid: true, Tag: line, Meta: meta, lru: a.clock}
+	set[victim] = Line{Valid: true, Tag: line, Meta: meta, LRU: a.clock}
 	return evictedTag, evictedMeta, true, true
 }
 
@@ -229,7 +229,7 @@ func (a *Array) VictimFor(line uint64) (tag uint64, meta uint8, evicted bool) {
 		if !set[i].Valid {
 			return 0, 0, false
 		}
-		if victim < 0 || set[i].lru < set[victim].lru {
+		if victim < 0 || set[i].LRU < set[victim].LRU {
 			victim = i
 		}
 	}

@@ -1,0 +1,95 @@
+package stats
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON round-tripping for the three sample accumulators, so component
+// Stats structs that embed them serialize transparently inside a
+// checkpoint. encoding/json renders float64 with the shortest
+// representation that parses back to the identical bits, so a
+// marshal/unmarshal cycle is exact: a restored histogram or mean
+// reports byte-identical values. All fields are encoded — including
+// zero ones — because a checkpoint is a faithful state copy, not a
+// compact wire format.
+
+type counterJSON struct {
+	N uint64 `json:"n"`
+}
+
+// MarshalJSON encodes the counter's full state.
+func (c Counter) MarshalJSON() ([]byte, error) {
+	return json.Marshal(counterJSON{N: c.n})
+}
+
+// UnmarshalJSON restores the counter's full state.
+func (c *Counter) UnmarshalJSON(b []byte) error {
+	var v counterJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	c.n = v.N
+	return nil
+}
+
+type meanJSON struct {
+	Sum float64 `json:"sum"`
+	N   uint64  `json:"n"`
+}
+
+// MarshalJSON encodes the mean's full state.
+func (m Mean) MarshalJSON() ([]byte, error) {
+	return json.Marshal(meanJSON{Sum: m.sum, N: m.n})
+}
+
+// UnmarshalJSON restores the mean's full state.
+func (m *Mean) UnmarshalJSON(b []byte) error {
+	var v meanJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	m.sum, m.n = v.Sum, v.N
+	return nil
+}
+
+type histogramJSON struct {
+	Buckets []uint64 `json:"buckets"`
+	Sum     float64  `json:"sum"`
+	N       uint64   `json:"n"`
+	Max     float64  `json:"max"`
+}
+
+// MarshalJSON encodes the histogram's full state, bucket layout
+// included.
+func (h *Histogram) MarshalJSON() ([]byte, error) {
+	return json.Marshal(histogramJSON{Buckets: h.buckets, Sum: h.sum, N: h.n, Max: h.max})
+}
+
+// UnmarshalJSON restores the histogram's full state. The bucket count
+// comes from the encoded form, so the restored histogram clamps
+// out-of-range samples exactly as the original did.
+func (h *Histogram) UnmarshalJSON(b []byte) error {
+	var v histogramJSON
+	if err := json.Unmarshal(b, &v); err != nil {
+		return err
+	}
+	if v.Buckets == nil {
+		return fmt.Errorf("stats: histogram with no buckets")
+	}
+	h.buckets = v.Buckets
+	h.sum, h.n, h.max = v.Sum, v.N, v.Max
+	return nil
+}
+
+// Clone returns an independent deep copy of the histogram (nil in,
+// nil out). Snapshots clone so later Observe calls on the live
+// histogram cannot mutate checkpointed state.
+func (h *Histogram) Clone() *Histogram {
+	if h == nil {
+		return nil
+	}
+	c := *h
+	c.buckets = append([]uint64(nil), h.buckets...)
+	return &c
+}

@@ -10,12 +10,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"time"
 
+	"rowsim/internal/checkpoint"
 	"rowsim/internal/coherence"
 	"rowsim/internal/config"
 	"rowsim/internal/experiments"
@@ -115,6 +118,17 @@ type Options struct {
 	// completed successfully; failures and canceled runs re-execute.
 	Resume *lifecycle.Snapshot
 
+	// CheckpointDir, when set, gives every run a durable mid-run
+	// checkpoint lineage under this directory (one file per spec,
+	// named by its content key). Runs resume from an existing valid
+	// checkpoint — whether left by a killed process or by a failed
+	// attempt the supervisor is retrying — and checkpoints of runs
+	// that reach a terminal state are removed. CheckpointEvery is the
+	// simulated-cycle cadence (0 leaves checkpoint writing off while
+	// still resuming from existing files).
+	CheckpointDir   string
+	CheckpointEvery uint64
+
 	// Progress, when set, receives a line per completed run. Called
 	// from worker goroutines; must be safe for concurrent use.
 	Progress func(msg string)
@@ -176,6 +190,13 @@ func (s RunSpec) ReproLine() string {
 		s.Seed, s.Workload, s.Variant, s.Cores, s.Instrs, s.Faults.Spec())
 }
 
+// ContentKey hashes everything that determines the run — the spec
+// (workload, variant, shape, seed, fault mix, budgets) plus the code
+// revision — for use as a checkpoint validity key.
+func (s RunSpec) ContentKey() string {
+	return experiments.ContentKey("torture-run", s)
+}
+
 // Execute performs one run of the spec and returns its result. All
 // failure modes come back as errors: protocol violations
 // (*coherence.ProtocolError), deadlocks (*sim.DeadlockError), budget
@@ -188,6 +209,16 @@ func Execute(spec RunSpec) (sim.Result, error) {
 // ExecuteCtx is Execute under cooperative cancellation: the run also
 // aborts with *sim.RunCanceledError when ctx ends.
 func ExecuteCtx(ctx context.Context, spec RunSpec) (sim.Result, error) {
+	return ExecuteCheckpointed(ctx, spec, 0, "")
+}
+
+// ExecuteCheckpointed is ExecuteCtx with a durable checkpoint lineage
+// at path: the run resumes from an existing valid checkpoint (fresh
+// start when none, or when both slots are corrupt — bounded loss) and,
+// when every > 0, persists a new checkpoint each cadence. A checkpoint
+// whose content key does not match the spec fails the run with
+// *checkpoint.MismatchError rather than resuming foreign state.
+func ExecuteCheckpointed(ctx context.Context, spec RunSpec, every uint64, path string) (sim.Result, error) {
 	v, err := LookupVariant(spec.Variant)
 	if err != nil {
 		return sim.Result{}, err
@@ -210,9 +241,23 @@ func ExecuteCtx(ctx context.Context, spec RunSpec) (sim.Result, error) {
 	if spec.Faults.Enabled() {
 		opts = append(opts, sim.WithFaults(spec.Faults))
 	}
+	var key string
+	if path != "" {
+		key = spec.ContentKey()
+		if every > 0 {
+			opts = append(opts, sim.WithCheckpoint(every, checkpoint.Saver(path, key)))
+		}
+	}
 	s, err := sim.New(cfg, progs, opts...)
 	if err != nil {
 		return sim.Result{}, err
+	}
+	if path != "" {
+		if _, _, warn, err := checkpoint.ResumeLenient(s, path, key); err != nil {
+			return sim.Result{}, err
+		} else if warn != nil {
+			fmt.Fprintf(os.Stderr, "torture: %s: checkpoint unusable, starting fresh: %v\n", spec.ReproLine(), warn)
+		}
 	}
 	return s.RunCtx(ctx)
 }
@@ -378,8 +423,12 @@ func Torture(opt Options) Summary {
 					}
 					continue
 				}
-				out := sup.Do(ctx, lifecycle.Job{Key: key, Seed: spec.Seed}, func(c context.Context) (sim.Result, error) {
-					return ExecuteCtx(c, spec)
+				var cpath string
+				if opt.CheckpointDir != "" {
+					cpath = filepath.Join(opt.CheckpointDir, spec.ContentKey()[:16]+".ckpt")
+				}
+				out := sup.Do(ctx, lifecycle.Job{Key: key, Seed: spec.Seed, Checkpoint: cpath}, func(c context.Context) (sim.Result, error) {
+					return ExecuteCheckpointed(c, spec, opt.CheckpointEvery, cpath)
 				})
 				err := out.Err
 				replayed := false
@@ -409,6 +458,12 @@ func Torture(opt Options) Summary {
 							})
 						}
 					}
+				}
+				if cpath != "" && out.Status.Terminal() {
+					// Done (ok or deterministically failed): the recovery
+					// state has no future use. Canceled runs keep theirs
+					// for the resumed sweep.
+					checkpoint.Remove(cpath)
 				}
 				outcomes[i] = outcome{status: out.Status, err: err, replayed: replayed}
 				if opt.Progress != nil {

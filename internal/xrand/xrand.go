@@ -14,6 +14,16 @@ type RNG struct {
 // New returns a generator with the given seed.
 func New(seed uint64) *RNG { return &RNG{state: seed} }
 
+// State returns the generator's current internal state. Together with
+// SetState it lets a checkpoint capture and later resume a stream
+// mid-sequence: restoring the state replays exactly the numbers the
+// original stream would have produced next.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState overwrites the generator's internal state (checkpoint
+// restore). SetState(New(seed).State()) is equivalent to New(seed).
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Uint64 returns the next 64 pseudo-random bits.
 func (r *RNG) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15
