@@ -10,6 +10,7 @@ import (
 
 	"rowsim/internal/bench"
 	"rowsim/internal/experiments"
+	"rowsim/internal/sim"
 	"rowsim/internal/stats"
 )
 
@@ -34,12 +35,13 @@ var benchSuite = []struct {
 }
 
 // benchSuiteOptions mirrors bench_test.go's benchOptions.
-func benchSuiteOptions() experiments.Options {
+func benchSuiteOptions(sched sim.Scheduler) experiments.Options {
 	return experiments.Options{
 		Cores:     8,
 		Instrs:    3000,
 		Seed:      1,
 		Workloads: []string{"canneal", "sps"},
+		Sched:     sched,
 	}
 }
 
@@ -54,7 +56,7 @@ const benchReps = 3
 // time, simulated-cycle throughput, allocations), writes the JSON
 // report, and — when a baseline is given — fails on wall-time
 // regressions beyond maxRegress.
-func runBenchSuite(outPath, basePath string, maxRegress float64, jobs int, quiet bool) int {
+func runBenchSuite(outPath, basePath string, maxRegress float64, jobs int, quiet bool, sched sim.Scheduler) int {
 	rep := bench.New(gitRev(), experiments.Jobs(jobs))
 	for _, fb := range benchSuite {
 		var e bench.Entry
@@ -62,7 +64,7 @@ func runBenchSuite(outPath, basePath string, maxRegress float64, jobs int, quiet
 			// A fresh runner per repetition keeps the memo cold: each
 			// measurement is the figure's full simulation cost, not
 			// whatever a previous pass happened to share.
-			r := experiments.NewRunner(benchSuiteOptions())
+			r := experiments.NewRunner(benchSuiteOptions(sched))
 			r.SetJobs(jobs)
 			var before, after runtime.MemStats
 			runtime.ReadMemStats(&before)
@@ -74,21 +76,26 @@ func runBenchSuite(outPath, basePath string, maxRegress float64, jobs int, quiet
 				continue
 			}
 			cycles := r.SimulatedCycles()
+			visited := r.VisitedCycles()
 			e = bench.Entry{
-				Name:   fb.name,
-				WallNS: wall.Nanoseconds(),
-				Cycles: cycles,
-				Allocs: after.Mallocs - before.Mallocs,
-				Bytes:  after.TotalAlloc - before.TotalAlloc,
+				Name:          fb.name,
+				WallNS:        wall.Nanoseconds(),
+				Cycles:        cycles,
+				CyclesVisited: visited,
+				Allocs:        after.Mallocs - before.Mallocs,
+				Bytes:         after.TotalAlloc - before.TotalAlloc,
 			}
 			if sec := wall.Seconds(); sec > 0 {
 				e.CyclesPerSec = float64(cycles) / sec
 			}
+			if cycles > 0 {
+				e.SkipEff = 1 - float64(visited)/float64(cycles)
+			}
 		}
 		rep.Entries = append(rep.Entries, e)
 		if !quiet {
-			fmt.Fprintf(os.Stderr, "%-24s %10.1fms %12.0f cycles/s %10d allocs\n",
-				fb.name, float64(e.WallNS)/1e6, e.CyclesPerSec, e.Allocs)
+			fmt.Fprintf(os.Stderr, "%-24s %10.1fms %12.0f cycles/s %5.1f%% skipped %10d allocs\n",
+				fb.name, float64(e.WallNS)/1e6, e.CyclesPerSec, e.SkipEff*100, e.Allocs)
 		}
 	}
 	if err := bench.Write(outPath, rep); err != nil {

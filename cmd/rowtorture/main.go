@@ -47,6 +47,7 @@ import (
 	"rowsim/internal/faults"
 	"rowsim/internal/lifecycle"
 	"rowsim/internal/mcheck"
+	"rowsim/internal/sim"
 	"rowsim/internal/torture"
 )
 
@@ -67,6 +68,7 @@ func run() int {
 		replay  = flag.Int("replay-every", 5, "replay every Nth run for determinism (0 = off)")
 		check   = flag.Uint64("check-every", 4096, "coherence-invariant check interval in cycles (0 = off)")
 		budget  = flag.Uint64("max-cycles", 20_000_000, "per-run cycle budget (simulated cycles)")
+		schedF  = flag.String("sched", "event", "scheduler for primary runs: event or cycle; determinism replays run under the opposite one")
 		journal = flag.String("journal", "", "write a crash-safe JSONL run journal to this path")
 		resume  = flag.String("resume", "", "resume an interrupted sweep from its journal")
 		timeout = flag.Duration("timeout", 0, "per-run wall-clock deadline (0 = off); timed-out runs retry")
@@ -80,11 +82,17 @@ func run() int {
 	)
 	flag.Parse()
 
+	sched, serr := sim.ParseScheduler(*schedF)
+	if serr != nil {
+		fmt.Fprintln(os.Stderr, serr)
+		return 2
+	}
+
 	if *witness != "" {
 		return replayWitness(*witness)
 	}
 	if *wl != "" {
-		return repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget)
+		return repro(*seed, *wl, *variant, *cores, *instrs, *spec, *check, *budget, sched)
 	}
 
 	// os.Interrupt covers Ctrl-C; SIGTERM is what containers and
@@ -127,6 +135,16 @@ func run() int {
 		*replay = atoi(a["replay-every"])
 		*check = uint64(atoi(a["check-every"]))
 		*budget = uint64(atoi(a["max-cycles"]))
+		// Journals from before the event scheduler have no "sched" key;
+		// the scheduler does not change results, so those resume under
+		// the flag's (default) mode.
+		if v, ok := a["sched"]; ok {
+			sched, serr = sim.ParseScheduler(v)
+			if serr != nil {
+				fmt.Fprintf(os.Stderr, "corrupt journal meta: bad sched %q\n", v)
+				return 2
+			}
+		}
 	case *journal != "":
 		jnl, err = lifecycle.Create(*journal, lifecycle.Record{
 			Tool: "rowtorture",
@@ -138,6 +156,7 @@ func run() int {
 				"replay-every": strconv.Itoa(*replay),
 				"check-every":  strconv.FormatUint(*check, 10),
 				"max-cycles":   strconv.FormatUint(*budget, 10),
+				"sched":        sched.String(),
 			},
 		})
 		if err != nil {
@@ -172,6 +191,7 @@ func run() int {
 		Runs:            *n,
 		Workers:         *workers,
 		Seed:            *seed,
+		Sched:           sched,
 		Cores:           parseInts(*cores),
 		Instrs:          parseInts(*instrs),
 		ReplayEvery:     *replay,
@@ -209,7 +229,7 @@ func run() int {
 
 // repro re-executes one run and reports its outcome; the exit code is
 // 0 only when the run completes cleanly.
-func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, budget uint64) int {
+func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, budget uint64, sched sim.Scheduler) int {
 	fc, err := faults.ParseSpec(spec)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -224,6 +244,7 @@ func repro(seed uint64, wl, variant, coresStr, instrsStr, spec string, check, bu
 		Faults:     fc,
 		CheckEvery: check,
 		MaxCycles:  budget,
+		Sched:      sched,
 	}
 	fmt.Println(rs.ReproLine())
 	res, err := torture.Execute(rs)

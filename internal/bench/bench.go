@@ -23,8 +23,17 @@ type Entry struct {
 	WallNS int64 `json:"wall_ns"`
 	// Cycles is the total number of simulated cycles executed.
 	Cycles uint64 `json:"cycles"`
-	// CyclesPerSec is the simulator's throughput on this benchmark.
+	// CyclesPerSec is the simulator's throughput on this benchmark,
+	// measured in simulated (advanced) cycles — comparable across
+	// scheduler modes.
 	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// CyclesVisited is the number of cycles the scheduler actually
+	// simulated; under the event scheduler this is smaller than Cycles.
+	CyclesVisited uint64 `json:"cycles_visited"`
+	// SkipEff is 1 - CyclesVisited/Cycles: the fraction of simulated
+	// time the event scheduler jumped over. Zero under the cycle
+	// scheduler.
+	SkipEff float64 `json:"skip_eff"`
 	// Allocs is the number of heap allocations over the benchmark.
 	Allocs uint64 `json:"allocs"`
 	// Bytes is the number of heap bytes allocated over the benchmark.

@@ -375,6 +375,34 @@ func (p *Private) NeedsTick() bool {
 // replays a skipped Tick and asserts this does not move.
 func (p *Private) WorkDone() uint64 { return p.work }
 
+// NextEventAt returns the earliest cycle strictly after now at which
+// Tick would do observable work without further input: the earliest
+// pending pipeline event, or the expiry of the oldest stalled external
+// request's forced-release window. ^uint64(0) means the controller is
+// quiescent until mail arrives or its core issues an access (both of
+// which force a visit on their own).
+//
+//rowlint:noalloc
+func (p *Private) NextEventAt(now uint64) uint64 {
+	at := ^uint64(0)
+	if len(p.events) > 0 {
+		at = p.events[0].at
+	}
+	if !p.noForcedRelease {
+		// Tick releases a stalled entry once cycle-stallAt exceeds
+		// releaseAfter, i.e. from stallAt+releaseAfter+1 on.
+		for i := range p.stalled.exts {
+			if t := p.stalled.exts[i].stallAt + releaseAfter + 1; t < at {
+				at = t
+			}
+		}
+	}
+	if at <= now {
+		at = now + 1
+	}
+	return at
+}
+
 // fail raises a structured protocol error for this endpoint.
 func (p *Private) fail(m *coherence.Msg, reason string) {
 	pe := &coherence.ProtocolError{

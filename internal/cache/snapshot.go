@@ -259,11 +259,13 @@ func (p *Private) LevelStates(line uint64) (l1, l2 uint8) {
 	return l1, l2
 }
 
-// NextEventAt reports the cycle of the earliest pending pipeline event
-// (lookup completion or deferred miss); ok is false when the pipeline
-// is empty. The model checker advances its clock to exactly this point
-// between choice-point transitions.
-func (p *Private) NextEventAt() (uint64, bool) {
+// EarliestPipelineEvent reports the cycle of the earliest pending
+// pipeline event (lookup completion or deferred miss); ok is false
+// when the pipeline is empty. The model checker advances its clock to
+// exactly this point between choice-point transitions. (The event
+// scheduler's contract, which also folds in the forced-release sweep,
+// is NextEventAt in private.go.)
+func (p *Private) EarliestPipelineEvent() (uint64, bool) {
 	if len(p.events) == 0 {
 		return 0, false
 	}

@@ -237,6 +237,11 @@ type Core struct {
 	memPortsUsed int
 	drainBusy    bool // SB drain write in flight
 
+	// work counts observable Tick actions (retires, issues, drains,
+	// dispatches, wheel events, wakes). The event scheduler's
+	// cross-check replays a skipped Tick and asserts it unchanged.
+	work uint64
+
 	done       bool
 	finishedAt uint64
 

@@ -1,0 +1,159 @@
+package core
+
+import "rowsim/internal/trace"
+
+// This file is the core's side of the event-driven scheduler contract
+// (internal/sim): NextEventAt reports the earliest future cycle at
+// which Tick could do observable work absent external input, and the
+// work counter lets the scheduler's cross-check replay a skipped Tick
+// and assert it idle.
+
+// never is the NextEventAt value meaning "no self-driven work pending".
+const never = ^uint64(0)
+
+// SetNow advances the core clock without doing any work. The event
+// loop uses it to replicate the cycle loop's clock phasing: cache
+// completions and coherence callbacks delivered at cycle T observe a
+// core clock of T-1, because cores tick after caches within a cycle.
+func (c *Core) SetNow(cycle uint64) { c.now = cycle }
+
+// WorkDone returns the monotone observable-work counter. Every
+// externally visible action a Tick can take increments it, so a
+// replayed Tick on a core the event scheduler chose to skip must
+// leave it unchanged.
+func (c *Core) WorkDone() uint64 { return c.work }
+
+// NextEventAt returns the earliest cycle strictly after now at which
+// the core could do observable work without further external input
+// (cache responses and coherence callbacks arrive via the mesh or the
+// private cache and force a visit on their own); ^uint64(0) means the
+// core is quiescent until something external happens. The contract is
+// one-sided: returning too early wastes a visit, returning too late
+// would diverge from the cycle loop — which is exactly what the
+// cross-check mode verifies.
+//
+//rowlint:noalloc
+func (c *Core) NextEventAt(now uint64) uint64 {
+	if c.done {
+		return never
+	}
+	next := now + 1
+	if c.activeNow(next) {
+		return next
+	}
+	at := never
+	// A pending wheel event for cycle Y sits in bucket Y%wheelSize and
+	// was scheduled fewer than wheelSize cycles before Y, so from any
+	// later now the bucket's next alias time is Y itself: timed events
+	// are neither fired early nor missed. Buckets holding only stale
+	// (token-mismatched) events wake the core spuriously once; the
+	// visit clears them.
+	for b := uint64(0); b < wheelSize; b++ {
+		if len(c.wheel[b]) == 0 {
+			continue
+		}
+		t := next + (b+wheelSize-next%wheelSize)%wheelSize
+		if t < at {
+			at = t
+		}
+	}
+	// Front end blocked only by the redirect / i-miss bubble.
+	if c.fetchFreeAt > next && c.dispatchReady() && c.fetchFreeAt < at {
+		at = c.fetchFreeAt
+	}
+	return at
+}
+
+// activeNow reports whether a Tick at cycle next would do observable
+// work given the current architectural state. The clauses mirror the
+// first action of each pipeline stage; wait lists whose entries are
+// woken explicitly inside other actions (storeBlocked, fenceBlocked,
+// lockWait) need no clause, because the waking action itself counts
+// as work and triggers a wake recomputation.
+//
+//rowlint:noalloc
+func (c *Core) activeNow(next uint64) bool {
+	if len(c.readyQ) != 0 {
+		return true // issue acts (or parks entries behind a fence)
+	}
+	if c.robHead < c.robTail {
+		e := c.entry(c.robHead)
+		switch {
+		case e.st == sCompleted:
+			// commit retires the head — unless it is an atomic whose
+			// store_unlock has not reached the SB head yet (that drain
+			// is covered by the SB clause below).
+			if e.in.Kind != trace.Atomic || e.sb < 0 || e.sb == c.sbHead {
+				return true
+			}
+		case e.in.Kind == trace.Fence && e.srcPending == 0:
+			// A fence completes at the head once every older store has
+			// drained; the last such drain happens after commit within
+			// its tick, so the completion lands on the next one.
+			if c.sbHead == c.sbTail || c.sb[c.sbHead%int64(len(c.sb))].id > e.id {
+				return true
+			}
+		}
+	}
+	if c.sbHead != c.sbTail && !c.drainBusy {
+		h := &c.sb[c.sbHead%int64(len(c.sb))]
+		if h.committed && h.addrReady {
+			return true // drainSB drains the head or goes busy fetching permission
+		}
+	}
+	for _, ref := range c.lazyWait {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e != nil && e.st == sWaitLazy && e.srcPending == 0 && c.lazyReady(e) {
+			return true // checkLazy issues it (ports reset every tick)
+		}
+	}
+	for _, ref := range c.orderWait {
+		e := c.entryBySlot(ref.slot, ref.id)
+		if e != nil && e.st == sWaitLock && !c.olderUnlockedAtomic(e.id) {
+			return true // checkOrderWait re-issues the lock
+		}
+	}
+	if next >= c.fetchFreeAt && c.dispatchReady() {
+		return true
+	}
+	if c.fetchIdx >= len(c.prog) && c.robHead == c.robTail && c.sbHead == c.sbTail {
+		return true // checkDone latches completion
+	}
+	return false
+}
+
+// dispatchReady reports whether the front end could make observable
+// progress on the next fetch instruction, ignoring the fetchFreeAt
+// time gate (the caller accounts for it). The i-cache probe runs
+// before the structural-hazard checks in dispatch and mutates fetch
+// state even when dispatch then stalls, so a new fetch line counts as
+// progress on its own.
+//
+//rowlint:noalloc
+func (c *Core) dispatchReady() bool {
+	if c.fetchHoldBy != 0 || c.fetchIdx >= len(c.prog) || c.robFull() {
+		return false
+	}
+	in := &c.prog[c.fetchIdx]
+	if in.PC&c.l1iLineMask != c.l1iLastLine {
+		return true
+	}
+	switch in.Kind {
+	case trace.Load:
+		if c.lqTail-c.lqHead >= int64(len(c.lq)) {
+			return false
+		}
+	case trace.Store:
+		if c.sbTail-c.sbHead >= int64(len(c.sb)) {
+			return false
+		}
+	case trace.Atomic:
+		if c.lqTail-c.lqHead >= int64(len(c.lq)) || c.sbTail-c.sbHead >= int64(len(c.sb)) {
+			return false
+		}
+		if in.LocksLine() && c.aqTail-c.aqHead >= int64(len(c.aq)) {
+			return false
+		}
+	}
+	return true
+}

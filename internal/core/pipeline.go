@@ -38,6 +38,7 @@ func (c *Core) processWheel() {
 		if e == nil || e.token != ev.token {
 			continue // flushed or cancelled
 		}
+		c.work++
 		switch ev.kind {
 		case evALUDone:
 			c.complete(e, ev.slot)
@@ -64,6 +65,7 @@ func (c *Core) processWheel() {
 
 // complete marks an instruction executed and wakes its dependents.
 func (c *Core) complete(e *robEntry, slot uint32) {
+	c.work++
 	e.st = sCompleted
 	e.completeAt = c.now
 	e.valueReady = true
@@ -169,6 +171,7 @@ func (c *Core) commit() {
 		e.valid = false
 		c.robHead++
 		c.Stats.Committed++
+		c.work++
 	}
 }
 
@@ -187,16 +190,19 @@ func (c *Core) drainSB() {
 		}
 		if h.noWrite {
 			// Far atomic: the bank already performed the write.
+			c.work++
 			*h = sbEntry{}
 			c.sbHead++
 			continue
 		}
 		if !c.mem.StoreComplete(h.line) {
 			// Need write permission first.
+			c.work++
 			c.drainBusy = true
 			c.mem.Access(c.sbDrainTag(), h.line, true)
 			return
 		}
+		c.work++
 		if h.isAtomic {
 			c.unlockAtomic(h)
 		}
@@ -271,6 +277,7 @@ func (c *Core) checkOrderWait() {
 		if e == nil || e.st != sWaitLock {
 			continue
 		}
+		c.work++
 		e.st = sIssued
 		c.tryLock(e, ref.slot)
 	}
@@ -293,6 +300,7 @@ func (c *Core) checkLazy() {
 			kept = append(kept, ref)
 			continue
 		}
+		c.work++
 		c.memPortsUsed++
 		e.st = sIssued
 		if !e.addrCalcDone {
@@ -386,6 +394,7 @@ func (c *Core) issue() {
 		}
 		if e.in.IsMem() {
 			if c.fenceBlocks(e.id) {
+				c.work++
 				e.st = sWaitStore
 				c.fenceBlocked = append(c.fenceBlocked, ref)
 				continue
@@ -396,6 +405,7 @@ func (c *Core) issue() {
 			}
 			c.memPortsUsed++
 		}
+		c.work++
 		budget--
 		e.st = sIssued
 		e.token++
@@ -438,6 +448,7 @@ func (c *Core) dispatch() {
 		// prefetcher hides sequential misses, so only discontinuous
 		// fetch (branch targets, template wrap-around) pays.
 		if line := in.PC & c.l1iLineMask; line != c.l1iLastLine {
+			c.work++
 			sequential := line == c.l1iLastLine+uint64(c.cfg.Mem.LineBytes)
 			c.l1iLastLine = line
 			if c.l1i.Lookup(line, true) == nil {
@@ -476,6 +487,7 @@ func (c *Core) dispatch() {
 }
 
 func (c *Core) dispatchOne(in *trace.Instr) {
+	c.work++
 	pos := c.robTail
 	slot := c.slotOf(pos)
 	id := c.nextID
@@ -599,6 +611,7 @@ func (c *Core) dispatchAtomic(e *robEntry, in *trace.Instr, slot uint32, id uint
 // and the buffers have drained.
 func (c *Core) checkDone() {
 	if c.fetchIdx >= len(c.prog) && c.robHead == c.robTail && c.sbHead == c.sbTail {
+		c.work++
 		c.done = true
 		c.finishedAt = c.now
 	}

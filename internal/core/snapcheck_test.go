@@ -24,7 +24,7 @@ func TestSnapshotCoversEveryField(t *testing.T) {
 		"wheel",
 		"bp", "ss", "cp",
 		"l1i", "l1iLastLine", "l1iMisses",
-		"memPortsUsed", "drainBusy",
+		"memPortsUsed", "drainBusy", "work",
 		"done", "finishedAt",
 		"Stats",
 	}, map[string]string{

@@ -157,6 +157,7 @@ type CoreSnap struct {
 
 	MemPortsUsed int    `json:"mem_ports_used"`
 	DrainBusy    bool   `json:"drain_busy"`
+	Work         uint64 `json:"work"`
 	Done         bool   `json:"done"`
 	FinishedAt   uint64 `json:"finished_at"`
 
@@ -209,6 +210,7 @@ func (c *Core) Snapshot() CoreSnap {
 		L1IMisses:    c.l1iMisses,
 		MemPortsUsed: c.memPortsUsed,
 		DrainBusy:    c.drainBusy,
+		Work:         c.work,
 		Done:         c.done,
 		FinishedAt:   c.finishedAt,
 		Stats:        c.Stats,
@@ -302,6 +304,7 @@ func (c *Core) Restore(s CoreSnap) {
 	c.l1iMisses = s.L1IMisses
 	c.memPortsUsed = s.MemPortsUsed
 	c.drainBusy = s.DrainBusy
+	c.work = s.Work
 	c.done = s.Done
 	c.finishedAt = s.FinishedAt
 	c.Stats = s.Stats

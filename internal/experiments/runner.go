@@ -37,6 +37,10 @@ type Options struct {
 	// design, and the resolved value is what gets journaled).
 	Seed      uint64
 	Workloads []string // default: the 13 atomic-intensive workloads
+	// Sched selects the simulation scheduler for every run. The zero
+	// value is sim.SchedEvent; results are identical either way (only
+	// wall time and the visited-cycle bookkeeping differ).
+	Sched sim.Scheduler
 }
 
 func (o Options) withDefaults() Options {
@@ -141,8 +145,11 @@ type Runner struct {
 	mu    sync.Mutex
 	cache map[string]sim.Result
 	// cycles accumulates the simulated cycles of every non-memoized
-	// run (the benchmark gate's throughput denominator).
-	cycles uint64
+	// run (the benchmark gate's throughput denominator); visited
+	// accumulates the cycles those runs actually simulated, so the
+	// gate can report the event scheduler's skip efficiency.
+	cycles  uint64
+	visited uint64
 	// Progress, when set, receives a line per completed run. It must
 	// itself be safe for concurrent use when the runner is shared.
 	Progress func(msg string)
@@ -196,7 +203,7 @@ func (r *Runner) RunCtx(ctx context.Context, wl string, v Variant) (sim.Result, 
 		}
 		progs := workload.Generate(p, r.opt.Cores, r.opt.Instrs, r.opt.Seed)
 		cfg := v.Config(r.opt.Cores)
-		s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)))
+		s, err := sim.New(cfg, progs, sim.WithWarmFilter(workload.WarmFilter(p)), sim.WithScheduler(r.opt.Sched))
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %w", err)
 		}
@@ -220,6 +227,7 @@ func (r *Runner) RunCtx(ctx context.Context, wl string, v Variant) (sim.Result, 
 	r.mu.Lock()
 	r.cache[key] = res
 	r.cycles += res.Cycles
+	r.visited += res.CyclesVisited
 	r.mu.Unlock()
 	if r.Progress != nil {
 		r.Progress(fmt.Sprintf("ran %-14s %-16s %12d cycles", wl, v.Name, res.Cycles))
@@ -241,7 +249,7 @@ func (r *Runner) MustRun(wl string, v Variant) sim.Result {
 // under the runner's base context and supervisor, when set.
 func (r *Runner) RunPrograms(cfg *config.Config, progs []trace.Program) (sim.Result, error) {
 	exec := func(ctx context.Context) (sim.Result, error) {
-		s, err := sim.New(cfg, progs)
+		s, err := sim.New(cfg, progs, sim.WithScheduler(r.opt.Sched))
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %w", err)
 		}
@@ -279,6 +287,15 @@ func (r *Runner) SimulatedCycles() uint64 {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.cycles
+}
+
+// VisitedCycles returns the total cycles those runs actually visited:
+// equal to SimulatedCycles under sim.SchedCycle, smaller under
+// sim.SchedEvent. 1 - visited/simulated is the skip efficiency.
+func (r *Runner) VisitedCycles() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.visited
 }
 
 // Norm returns v normalized to base (the paper normalizes execution

@@ -322,6 +322,23 @@ func (m *Mesh) Tick(cycle uint64) {
 	}
 }
 
+// NextEventAt returns the arrival cycle of the earliest undelivered
+// message, or ^uint64(0) when nothing is in flight. Every enqueue
+// clamps the arrival to at least now+1 and Tick delivers everything
+// due, so after a Tick at `now` the heap head is always in the future;
+// the clamp below only defends the contract against misuse.
+//
+//rowlint:noalloc
+func (m *Mesh) NextEventAt(now uint64) uint64 {
+	if len(m.events) == 0 {
+		return ^uint64(0)
+	}
+	if at := m.events[0].at; at > now {
+		return at
+	}
+	return now + 1
+}
+
 // HasMail reports whether the node's inbox holds undelivered messages.
 // The system's cycle loop uses it to skip Drain-and-handle entirely for
 // idle nodes.

@@ -613,7 +613,7 @@ func (m *Model) settle() {
 		var at uint64
 		found := false
 		for _, pc := range m.caches {
-			if t, ok := pc.NextEventAt(); ok && (!found || t < at) {
+			if t, ok := pc.EarliestPipelineEvent(); ok && (!found || t < at) {
 				at, found = t, true
 			}
 		}

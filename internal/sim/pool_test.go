@@ -43,7 +43,9 @@ func TestCrossCheckMatchesPlainRun(t *testing.T) {
 			t.Fatal(err)
 		}
 		checked := s.MustRun()
-		if plain != checked {
+		// The cross-check visits every cycle by design, so only the
+		// visited-cycle bookkeeping may differ from the skipping run.
+		if plain.SchedNormalized() != checked.SchedNormalized() {
 			t.Fatalf("%s: cross-checked run diverges from plain run:\nplain:   %+v\nchecked: %+v", wl, plain, checked)
 		}
 	}

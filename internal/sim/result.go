@@ -6,8 +6,17 @@ import "rowsim/internal/stats"
 // package turns these into the paper's figures.
 type Result struct {
 	// Cycles is the parallel execution time: the cycle at which the
-	// last core finished.
+	// last core finished. This is the cycles-advanced count — simulated
+	// time is identical in both scheduler modes.
 	Cycles uint64
+
+	// CyclesVisited is the number of cycles the scheduler actually
+	// simulated: equal to Cycles under SchedCycle, usually far smaller
+	// under SchedEvent (1 - CyclesVisited/Cycles is the skip
+	// efficiency). It is the only Result field that legitimately
+	// differs between scheduler modes; compare runs across modes with
+	// SchedNormalized.
+	CyclesVisited uint64
 
 	Committed uint64
 	Atomics   uint64 // committed locking atomics
@@ -56,9 +65,18 @@ type Result struct {
 	NetworkMessages uint64
 }
 
+// SchedNormalized returns the result with the scheduler-dependent
+// bookkeeping zeroed: two runs of the same workload must compare equal
+// under it regardless of scheduler mode.
+func (r Result) SchedNormalized() Result {
+	r.CyclesVisited = 0
+	return r
+}
+
 func (s *System) collect() Result {
 	var r Result
 	r.Cycles = s.cycle
+	r.CyclesVisited = s.visited
 
 	var d2i, i2l, l2u struct{ sum, n float64 }
 	var older, younger struct{ sum, n float64 }

@@ -35,12 +35,14 @@ type System struct {
 	checkEvery uint64
 	watchdog   uint64
 	crossCheck bool
+	sched      Scheduler
 
 	ckptEvery uint64
 	ckptFn    func(cycle uint64, snap *SysSnap) error
 	lastCkpt  uint64
 
-	cycle uint64
+	cycle   uint64
+	visited uint64 // loop iterations: cycles actually simulated (vs skipped)
 }
 
 // Option customizes system construction.
@@ -78,6 +80,17 @@ func WithFaults(cfg faults.Config) Option {
 // the skipping it checks).
 func WithCrossCheck() Option {
 	return func(s *System) { s.crossCheck = true }
+}
+
+// WithScheduler selects the simulation loop: SchedEvent (the default)
+// advances the clock directly to the next scheduled wake-up, SchedCycle
+// is the reference lock-step loop. Both produce byte-identical Results
+// (modulo CyclesVisited; see Result.SchedNormalized). The scheduler is
+// deliberately not part of config.Config: it cannot change results, so
+// it stays out of checkpoint content keys, and a checkpoint taken in
+// one mode restores into the other.
+func WithScheduler(m Scheduler) Option {
+	return func(s *System) { s.sched = m }
 }
 
 // WithCheckpoint arranges for fn to receive a full system snapshot
@@ -255,12 +268,27 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 	if err := ctx.Err(); err != nil {
 		return Result{}, &RunCanceledError{Cycle: s.cycle, Cause: err}
 	}
-	var lastCommitted uint64
-	lastProgress := uint64(0)
-	watchdog := s.watchdog
-	if watchdog < 1024 {
-		watchdog = 1024
+	ms := &maintState{watchdog: s.watchdog}
+	if ms.watchdog < 1024 {
+		ms.watchdog = 1024
 	}
+	if s.sched == SchedCycle {
+		return s.runCycle(ctx, ms)
+	}
+	return s.runEvent(ctx, ms)
+}
+
+// maintState is the per-run maintenance bookkeeping shared by both
+// scheduler loops: the committed-progress watchdog.
+type maintState struct {
+	lastCommitted uint64
+	lastProgress  uint64
+	watchdog      uint64
+}
+
+// runCycle is the reference lock-step loop: every cycle visits the
+// mesh, every bank, every cache and every active core.
+func (s *System) runCycle(ctx context.Context, ms *maintState) (Result, error) {
 	// active holds the cores still running their programs, in core-index
 	// order. Compacting it as cores finish replaces the per-cycle
 	// all-core doneness rescan: the loop exits when the list empties.
@@ -274,6 +302,7 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 	}
 	for len(active) > 0 {
 		s.cycle++
+		s.visited++
 		cyc := s.cycle
 		s.mesh.Tick(cyc)
 		for i, d := range s.dirs {
@@ -330,45 +359,76 @@ func (s *System) RunCtx(ctx context.Context) (Result, error) {
 		}
 		active = active[:n]
 
-		if pe := s.sink.Err(); pe != nil {
-			pe.Trace = s.mesh.RecentTrace(pe.Line, 32)
-			return Result{}, pe
-		}
-		if s.cfg.MaxCycles > 0 && cyc > s.cfg.MaxCycles {
-			return Result{}, &CycleLimitError{MaxCycles: s.cfg.MaxCycles, Cycle: cyc, Dump: s.dump()}
-		}
-		if s.checkEvery > 0 && cyc%s.checkEvery == 0 {
-			if err := s.CheckCoherence(); err != nil {
-				return Result{}, fmt.Errorf("sim: cycle %d: %w", cyc, err)
-			}
-		}
-		if cyc&1023 == 0 {
-			if err := ctx.Err(); err != nil {
-				return Result{}, &RunCanceledError{Cycle: cyc, Cause: err}
-			}
-			var committed uint64
-			for _, c := range s.cores {
-				committed += c.Stats.Committed
-			}
-			if committed != lastCommitted {
-				lastCommitted = committed
-				lastProgress = cyc
-			} else if cyc-lastProgress > watchdog {
-				return Result{}, s.diagnoseDeadlock(watchdog)
-			}
-			if s.ckptEvery != 0 && cyc-s.lastCkpt >= s.ckptEvery {
-				s.lastCkpt = cyc
-				snap := s.Snapshot()
-				if err := s.ckptFn(cyc, &snap); err != nil {
-					return Result{}, fmt.Errorf("sim: checkpoint at cycle %d: %w", cyc, err)
-				}
-			}
+		if err := s.postCycle(ctx, cyc, ms); err != nil {
+			return Result{}, err
 		}
 	}
 	if err := s.checkMsgConservation(); err != nil {
 		return Result{}, err
 	}
 	return s.collect(), nil
+}
+
+// postCycle is the per-simulated-cycle epilogue shared by both
+// scheduler loops: protocol-error surfacing, the cycle budget, the
+// coherence-invariant cadence and the 1024-cycle cold block (context
+// poll, progress watchdog, checkpoints). The event loop visits every
+// multiple of 1024 and of checkEvery, so maintenance fires at the same
+// simulated cycles in both modes.
+func (s *System) postCycle(ctx context.Context, cyc uint64, ms *maintState) error {
+	if pe := s.sink.Err(); pe != nil {
+		pe.Trace = s.mesh.RecentTrace(pe.Line, 32)
+		return pe
+	}
+	if s.cfg.MaxCycles > 0 && cyc > s.cfg.MaxCycles {
+		return &CycleLimitError{MaxCycles: s.cfg.MaxCycles, Cycle: cyc, Dump: s.dump()}
+	}
+	if s.checkEvery > 0 && cyc%s.checkEvery == 0 {
+		if err := s.CheckCoherence(); err != nil {
+			return fmt.Errorf("sim: cycle %d: %w", cyc, err)
+		}
+	}
+	if cyc&1023 == 0 {
+		if err := ctx.Err(); err != nil {
+			return &RunCanceledError{Cycle: cyc, Cause: err}
+		}
+		var committed uint64
+		for _, c := range s.cores {
+			committed += c.Stats.Committed
+		}
+		if committed != ms.lastCommitted {
+			ms.lastCommitted = committed
+			ms.lastProgress = cyc
+		} else if cyc-ms.lastProgress > ms.watchdog {
+			return s.diagnoseDeadlock(ms.watchdog)
+		}
+		if s.ckptEvery != 0 && cyc-s.lastCkpt >= s.ckptEvery {
+			if s.sched == SchedEvent {
+				// Normalize the component clocks the event loop left
+				// stale on skipped nodes, so a snapshot is identical
+				// in shape to a cycle-mode one and restores into
+				// either mode. Done cores stay frozen at finishedAt,
+				// matching the cycle loop (Tick returns early on
+				// them). Nothing reads these clocks before the next
+				// visit overwrites them, so the run itself is
+				// unaffected.
+				for _, pc := range s.caches {
+					pc.SetNow(cyc)
+				}
+				for _, c := range s.cores {
+					if !c.Done() {
+						c.SetNow(cyc)
+					}
+				}
+			}
+			s.lastCkpt = cyc
+			snap := s.Snapshot()
+			if err := s.ckptFn(cyc, &snap); err != nil {
+				return fmt.Errorf("sim: checkpoint at cycle %d: %w", cyc, err)
+			}
+		}
+	}
+	return nil
 }
 
 // MsgAccounting returns the three message populations the pool

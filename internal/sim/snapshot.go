@@ -30,23 +30,28 @@ import (
 //   - construction-time wiring (config, bank mapping, warm filter,
 //     check cadences): rebuilt by sim.New, validated by the content key.
 type SysSnap struct {
-	Cycle  uint64                `json:"cycle"`
-	Mesh   interconnect.MeshSnap `json:"mesh"`
-	Cores  []core.CoreSnap       `json:"cores"`
-	Caches []cache.CacheSnap     `json:"caches"`
-	Dirs   []coherence.DirSnap   `json:"dirs"`
-	Pool   coherence.PoolSnap    `json:"pool"`
-	Faults faults.InjectorSnap   `json:"faults"`
+	Cycle uint64 `json:"cycle"`
+	// Visited is the cumulative visited-cycle count, carried so a
+	// resumed run reports the same CyclesVisited as an uninterrupted
+	// one in the same scheduler mode.
+	Visited uint64                `json:"visited"`
+	Mesh    interconnect.MeshSnap `json:"mesh"`
+	Cores   []core.CoreSnap       `json:"cores"`
+	Caches  []cache.CacheSnap     `json:"caches"`
+	Dirs    []coherence.DirSnap   `json:"dirs"`
+	Pool    coherence.PoolSnap    `json:"pool"`
+	Faults  faults.InjectorSnap   `json:"faults"`
 }
 
 // Snapshot captures the system's full mutable state. It is a pure
 // read: taking a snapshot never perturbs the run.
 func (s *System) Snapshot() SysSnap {
 	snap := SysSnap{
-		Cycle:  s.cycle,
-		Mesh:   s.mesh.Snapshot(),
-		Pool:   s.pool.Snapshot(),
-		Faults: s.injector.Snapshot(),
+		Cycle:   s.cycle,
+		Visited: s.visited,
+		Mesh:    s.mesh.Snapshot(),
+		Pool:    s.pool.Snapshot(),
+		Faults:  s.injector.Snapshot(),
 	}
 	for _, c := range s.cores {
 		snap.Cores = append(snap.Cores, c.Snapshot())
@@ -74,6 +79,7 @@ func (s *System) RestoreSnap(snap *SysSnap) error {
 		return fmt.Errorf("sim: snapshot carries fault-injector state but the system has no injector")
 	}
 	s.cycle = snap.Cycle
+	s.visited = snap.Visited
 	s.lastCkpt = snap.Cycle
 	s.mesh.Restore(snap.Mesh)
 	s.pool.Restore(snap.Pool)

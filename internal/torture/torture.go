@@ -85,14 +85,20 @@ type Options struct {
 	Runs    int // number of randomized configs (default 100)
 	Workers int // concurrent simulations (default GOMAXPROCS)
 	Seed    uint64
+	// Sched is the scheduler every primary run executes under (zero =
+	// sim.SchedEvent); replays run under the opposite one.
+	Sched sim.Scheduler
 
 	Cores     []int    // core-count choices (default {4, 8})
 	Instrs    []int    // per-core instruction-count choices (default {1000, 2500})
 	Workloads []string // default: the contended set above
 
-	// ReplayEvery re-runs every Nth config and requires a byte-identical
-	// sim.Result — the determinism that makes repro lines trustworthy.
-	// 0 disables replay; default every 5th run.
+	// ReplayEvery re-runs every Nth config under the opposite scheduler
+	// and requires an identical (mode-normalized) sim.Result — both the
+	// determinism that makes repro lines trustworthy and the proof that
+	// the event and cycle schedulers agree across the whole sweep
+	// matrix, fault injection included. 0 disables replay; default
+	// every 5th run.
 	ReplayEvery int
 
 	CheckEvery uint64 // coherence-invariant interval (default 4096)
@@ -182,12 +188,22 @@ type RunSpec struct {
 
 	CheckEvery uint64
 	MaxCycles  uint64
+
+	// Sched is the scheduler the run executes under. Excluded from the
+	// JSON encoding (and therefore from ContentKey) on purpose: both
+	// schedulers produce the same run, so a checkpoint written under
+	// one resumes under the other.
+	Sched sim.Scheduler `json:"-"`
 }
 
 // ReproLine renders the one-line reproduction command.
 func (s RunSpec) ReproLine() string {
-	return fmt.Sprintf("rowtorture -seed %#x -wl %s -variant %q -cores %d -instrs %d -faults %q",
+	line := fmt.Sprintf("rowtorture -seed %#x -wl %s -variant %q -cores %d -instrs %d -faults %q",
 		s.Seed, s.Workload, s.Variant, s.Cores, s.Instrs, s.Faults.Spec())
+	if s.Sched != sim.SchedEvent {
+		line += " -sched " + s.Sched.String()
+	}
+	return line
 }
 
 // ContentKey hashes everything that determines the run — the spec
@@ -233,8 +249,8 @@ func ExecuteCheckpointed(ctx context.Context, spec RunSpec, every uint64, path s
 		cfg.MaxCycles = spec.MaxCycles
 	}
 	// Torture runs double as the idle-skip cross-checker: every skip
-	// decision the cycle loop makes is replayed and asserted a no-op.
-	opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(p)), sim.WithCrossCheck()}
+	// decision the scheduler makes is replayed and asserted a no-op.
+	opts := []sim.Option{sim.WithWarmFilter(workload.WarmFilter(p)), sim.WithScheduler(spec.Sched), sim.WithCrossCheck()}
 	if spec.CheckEvery > 0 {
 		opts = append(opts, sim.WithInvariantChecks(spec.CheckEvery))
 	}
@@ -376,6 +392,7 @@ func specs(opt Options) []RunSpec {
 			Faults:     fl,
 			CheckEvery: opt.CheckEvery,
 			MaxCycles:  opt.MaxCycles,
+			Sched:      opt.Sched,
 		}
 	}
 	return out
@@ -433,18 +450,26 @@ func Torture(opt Options) Summary {
 				err := out.Err
 				replayed := false
 				if out.Status == lifecycle.StatusOK && opt.ReplayEvery > 0 && i%opt.ReplayEvery == 0 {
+					// The replay runs under the opposite scheduler: a pass
+					// proves both determinism and mode equivalence on this
+					// spec (fault mix included). Results are compared
+					// mode-normalized — the visited-cycle count is the one
+					// field allowed to differ.
 					replayed = true
-					res2, err2 := ExecuteCtx(ctx, spec)
+					other := spec
+					other.Sched = spec.Sched.Other()
+					res2, err2 := ExecuteCtx(ctx, other)
 					switch {
 					case err2 != nil && lifecycle.Classify(err2) == lifecycle.ClassCanceled:
 						// The sweep was interrupted mid-replay: the run is
 						// fine, the determinism check just did not finish.
 						replayed = false
 					case err2 != nil:
-						err = &ReplayMismatchError{Detail: fmt.Sprintf("replay failed where the first run passed: %v", err2)}
-					case res2 != out.Result:
-						err = &ReplayMismatchError{Detail: fmt.Sprintf("first run %d cycles / %d messages, replay %d cycles / %d messages",
-							out.Result.Cycles, out.Result.NetworkMessages, res2.Cycles, res2.NetworkMessages)}
+						err = &ReplayMismatchError{Detail: fmt.Sprintf("%s-scheduler replay failed where the %s run passed: %v",
+							other.Sched, spec.Sched, err2)}
+					case res2.SchedNormalized() != out.Result.SchedNormalized():
+						err = &ReplayMismatchError{Detail: fmt.Sprintf("%s run %d cycles / %d messages, %s replay %d cycles / %d messages",
+							spec.Sched, out.Result.Cycles, out.Result.NetworkMessages, other.Sched, res2.Cycles, res2.NetworkMessages)}
 					}
 					if err != nil {
 						// Override the journaled ok: the latest record per

@@ -76,6 +76,63 @@ func TestExecuteMatchesReproLine(t *testing.T) {
 	}
 }
 
+// TestExecuteSchedulerEquivalence: one spec executed under both
+// schedulers (faults on) must agree on everything but the
+// visited-cycle bookkeeping, and the repro line must name the
+// scheduler only when it is not the default.
+func TestExecuteSchedulerEquivalence(t *testing.T) {
+	spec := RunSpec{
+		Seed:      0x9d1,
+		Workload:  "sps",
+		Variant:   "Lazy",
+		Cores:     4,
+		Instrs:    500,
+		Faults:    faults.Config{Seed: 6, JitterProb: 0.25, JitterMax: 12, ReorderProb: 0.05, ReorderMax: 64},
+		MaxCycles: 5_000_000,
+	}
+	spec.Sched = sim.SchedEvent
+	ev, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec.Sched = sim.SchedCycle
+	cy, err := Execute(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ev.SchedNormalized() != cy.SchedNormalized() {
+		t.Fatalf("schedulers diverge:\nevent: %+v\ncycle: %+v", ev, cy)
+	}
+	if !strings.Contains(spec.ReproLine(), "-sched cycle") {
+		t.Errorf("cycle-mode repro line omits the scheduler: %q", spec.ReproLine())
+	}
+	spec.Sched = sim.SchedEvent
+	if strings.Contains(spec.ReproLine(), "-sched") {
+		t.Errorf("default-mode repro line names the scheduler: %q", spec.ReproLine())
+	}
+}
+
+// TestSweepCycleSchedulerPrimary runs a miniature sweep with the cycle
+// scheduler as the primary mode, so the determinism replays execute
+// under the event scheduler — the reverse direction of the default.
+func TestSweepCycleSchedulerPrimary(t *testing.T) {
+	sum := Torture(Options{
+		Runs:        6,
+		Seed:        33,
+		Sched:       sim.SchedCycle,
+		Cores:       []int{4},
+		Instrs:      []int{500},
+		ReplayEvery: 2,
+		MaxCycles:   5_000_000,
+	})
+	if !sum.OK() {
+		t.Fatalf("sweep failed:\n%s", sum)
+	}
+	if sum.Replayed == 0 {
+		t.Fatalf("no runs replayed: %s", sum)
+	}
+}
+
 // TestIllegalFaultsAreDetected: a drop-everything config must be caught
 // by the failure machinery (watchdog), never pass silently.
 func TestIllegalFaultsAreDetected(t *testing.T) {
