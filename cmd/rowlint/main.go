@@ -11,6 +11,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -31,9 +32,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "also list suppressed findings")
 	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (suppressed included) instead of text")
+	reportPath := fs.String("ownership-report", "", "write the whole-program shard-ownership report (JSON) to this path ('-' for stdout); exits non-zero on unclassified edges")
+	bigcopyBytes := fs.Int64("bigcopy-bytes", lint.BigCopyThreshold, "struct-copy size threshold (bytes) for the bigcopy analyzer")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	lint.BigCopyThreshold = *bigcopyBytes
 	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
@@ -67,8 +72,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	loader := lint.NewLoader(modRoot, modPath)
-	var findings []lint.Finding
-	packages := 0
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := loader.Load(dir)
 		if err != nil {
@@ -78,7 +82,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		if pkg == nil {
 			continue // no buildable non-test Go files
 		}
-		packages++
+		pkgs = append(pkgs, pkg)
+	}
+
+	// The noalloc-escape analyzer needs the compiler's escape
+	// diagnostics; without a capture it refuses to pass vacuously.
+	if hasAnalyzer(analyzers, lint.NoAllocEscape) {
+		if err := loader.CaptureEscapes(pkgs); err != nil {
+			fmt.Fprintln(stderr, "rowlint:", err)
+			return 2
+		}
+	}
+
+	var findings []lint.Finding
+	for _, pkg := range pkgs {
 		findings = append(findings, lint.Run(pkg, analyzers)...)
 	}
 
@@ -86,20 +103,118 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, f := range findings {
 		if f.Suppressed {
 			suppressed++
-			if *verbose {
+		} else {
+			active++
+		}
+	}
+	summary := fmt.Sprintf("rowlint: %d finding(s), %d suppressed, %d package(s)",
+		active, suppressed, len(pkgs))
+	if *jsonOut {
+		// Keep stdout parseable: the JSON array is the only thing on it.
+		if err := writeJSON(stdout, cwd, findings); err != nil {
+			fmt.Fprintln(stderr, "rowlint:", err)
+			return 2
+		}
+		fmt.Fprintln(stderr, summary)
+	} else {
+		for _, f := range findings {
+			if !f.Suppressed || *verbose {
 				fmt.Fprintln(stdout, rel(cwd, f))
 			}
-			continue
 		}
-		active++
-		fmt.Fprintln(stdout, rel(cwd, f))
+		fmt.Fprintln(stdout, summary)
 	}
-	fmt.Fprintf(stdout, "rowlint: %d finding(s), %d suppressed, %d package(s)\n",
-		active, suppressed, packages)
+
+	code := 0
 	if active > 0 {
-		return 1
+		code = 1
 	}
-	return 0
+	if *reportPath != "" {
+		unclassified, err := writeOwnershipReport(stderr, loader, pkgs, *reportPath, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "rowlint:", err)
+			return 2
+		}
+		if unclassified > 0 && code == 0 {
+			code = 1
+		}
+	}
+	return code
+}
+
+// hasAnalyzer reports whether the selected set includes a.
+func hasAnalyzer(analyzers []*lint.Analyzer, a *lint.Analyzer) bool {
+	for _, x := range analyzers {
+		if x == a {
+			return true
+		}
+	}
+	return false
+}
+
+// jsonFinding is the -json output shape: one finding per element,
+// suppressed ones included with their recorded reason.
+type jsonFinding struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+	Reason     string `json:"reason,omitempty"`
+}
+
+func writeJSON(stdout io.Writer, cwd string, findings []lint.Finding) error {
+	out := make([]jsonFinding, 0, len(findings))
+	for _, f := range findings {
+		file := f.Pos.Filename
+		if r, err := filepath.Rel(cwd, file); err == nil && !strings.HasPrefix(r, "..") {
+			file = filepath.ToSlash(r)
+		}
+		out = append(out, jsonFinding{
+			File:       file,
+			Line:       f.Pos.Line,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: f.Suppressed,
+			Reason:     f.Reason,
+		})
+	}
+	enc := json.NewEncoder(stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// writeOwnershipReport builds the whole-program shard-ownership report
+// over the loaded packages, writes it to path, and returns the number
+// of unclassified cross-domain edges (the CI gate).
+func writeOwnershipReport(stderr io.Writer, loader *lint.Loader, pkgs []*lint.Package, path string, stdout io.Writer) (int, error) {
+	rep, err := lint.BuildOwnershipReport(loader, pkgs)
+	if err != nil {
+		return 0, err
+	}
+	data, err := rep.JSON()
+	if err != nil {
+		return 0, err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			return 0, err
+		}
+	} else if err := os.WriteFile(path, data, 0o644); err != nil {
+		return 0, err
+	}
+	fmt.Fprintf(stderr, "rowlint: ownership report: %d entries, %d edges, %d unclassified\n",
+		len(rep.Entries), len(rep.Edges), rep.Unclassified)
+	if rep.Unclassified > 0 {
+		for _, e := range rep.Edges {
+			if e.Class == "unclassified" {
+				fmt.Fprintf(stderr, "rowlint: unclassified edge: %s -> %s %s %s (%s)\n",
+					e.From, e.To, e.Kind, e.Target, strings.Join(e.Sites, ", "))
+			}
+		}
+	}
+	return rep.Unclassified, nil
 }
 
 // selectAnalyzers resolves the -analyzers flag against the registry.

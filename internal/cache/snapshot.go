@@ -105,9 +105,11 @@ func restoreWaiters(ws []WaiterSnap) []waiter {
 	return out
 }
 
-// Snapshot captures the controller's protocol and pipeline state.
-func (p *Private) Snapshot() CacheSnap {
-	s := CacheSnap{
+// Snapshot captures the controller's protocol and pipeline state. It
+// returns a pointer so the snapshot is built once and handed around by
+// reference rather than bulk-copied.
+func (p *Private) Snapshot() *CacheSnap {
+	s := &CacheSnap{
 		Now: p.now, Seq: p.seq, Work: p.work,
 		L1:    p.l1.Snapshot(),
 		L2:    p.l2.Snapshot(),
@@ -154,7 +156,7 @@ func (p *Private) Snapshot() CacheSnap {
 // Stalled messages are reconstituted as fresh allocations, never drawn
 // from the pool (the pool counters are restored separately; a Get here
 // would double-count the retained population).
-func (p *Private) Restore(s CacheSnap) {
+func (p *Private) Restore(s *CacheSnap) {
 	p.now, p.seq, p.work = s.Now, s.Seq, s.Work
 	p.l1.Restore(s.L1)
 	p.l2.Restore(s.L2)

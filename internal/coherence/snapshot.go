@@ -95,9 +95,11 @@ func (e *dirEntry) snap() DirEntrySnap {
 	return s
 }
 
-// Snapshot captures the bank's directory entries and L3 contents.
-func (d *Directory) Snapshot() DirSnap {
-	s := DirSnap{Now: d.now, Lines: make(map[uint64]DirEntrySnap, len(d.lines)), L3: d.l3.Snapshot(), Stats: d.Stats}
+// Snapshot captures the bank's directory entries and L3 contents. It
+// returns a pointer so the snapshot is handed around by reference
+// rather than bulk-copied.
+func (d *Directory) Snapshot() *DirSnap {
+	s := &DirSnap{Now: d.now, Lines: make(map[uint64]DirEntrySnap, len(d.lines)), L3: d.l3.Snapshot(), Stats: d.Stats}
 	//rowlint:ignore maporder building a map from a map; per-key copies are order-independent
 	for line, e := range d.lines {
 		s.Lines[line] = e.snap()
@@ -109,7 +111,7 @@ func (d *Directory) Snapshot() DirSnap {
 // messages are reconstituted as fresh allocations (never drawn from
 // the pool: the pool counters are restored separately and a pool Get
 // here would double-count the retained population).
-func (d *Directory) Restore(s DirSnap) {
+func (d *Directory) Restore(s *DirSnap) {
 	d.now = s.Now
 	d.Stats = s.Stats
 	d.lines = make(map[uint64]*dirEntry, len(s.Lines))

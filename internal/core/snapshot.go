@@ -180,9 +180,11 @@ func restoreDeps(ds []DepRef) []depRef {
 	return out
 }
 
-// Snapshot captures the core's full pipeline state.
-func (c *Core) Snapshot() CoreSnap {
-	s := CoreSnap{
+// Snapshot captures the core's full pipeline state. It returns a
+// pointer so the ~900-byte snapshot is built once and handed around by
+// reference (the duffcopy of passing it by value showed up in profiles).
+func (c *Core) Snapshot() *CoreSnap {
+	s := &CoreSnap{
 		FetchIdx:     c.fetchIdx,
 		FetchHoldBy:  c.fetchHoldBy,
 		FetchFreeAt:  c.fetchFreeAt,
@@ -270,7 +272,7 @@ func (c *Core) Snapshot() CoreSnap {
 // must have been built by core.New with the same configuration and the
 // same (regenerated) program — instruction pointers are rebound to
 // prog by the serialized program indexes.
-func (c *Core) Restore(s CoreSnap) {
+func (c *Core) Restore(s *CoreSnap) {
 	if len(s.ROB) != len(c.rob) || len(s.LQ) != len(c.lq) || len(s.SB) != len(c.sb) || len(s.AQ) != len(c.aq) {
 		panic(fmt.Sprintf("core: restoring snapshot with rings rob=%d lq=%d sb=%d aq=%d into core with rob=%d lq=%d sb=%d aq=%d",
 			len(s.ROB), len(s.LQ), len(s.SB), len(s.AQ), len(c.rob), len(c.lq), len(c.sb), len(c.aq)))
@@ -307,7 +309,7 @@ func (c *Core) Restore(s CoreSnap) {
 	c.work = s.Work
 	c.done = s.Done
 	c.finishedAt = s.FinishedAt
-	c.Stats = s.Stats
+	c.Stats = s.Stats //rowlint:ignore bigcopy restore rewinds the whole stats block once per resume, off the visit path
 	c.Stats.LockHold = s.Stats.LockHold.Clone()
 
 	for i := range c.rob {

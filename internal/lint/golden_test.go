@@ -97,6 +97,25 @@ func TestGolden(t *testing.T) {
 // the findings with case-relative paths, one per line.
 func renderCase(t *testing.T, ld *lint.Loader, caseDir string) string {
 	t.Helper()
+	var b strings.Builder
+	for _, pkg := range loadCase(t, ld, caseDir) {
+		for _, f := range lint.Run(pkg, lint.Analyzers()) {
+			if rel, err := filepath.Rel(caseDir, f.Pos.Filename); err == nil {
+				f.Pos.Filename = filepath.ToSlash(rel)
+			}
+			b.WriteString(f.String())
+			b.WriteByte('\n')
+		}
+	}
+	return b.String()
+}
+
+// loadCase loads every fixture package under caseDir. The
+// noallocescape case additionally runs the compiler escape capture —
+// that fixture is kept compilable for exactly this purpose (fixtures
+// with deliberate type or build quirks cannot go through go build).
+func loadCase(t *testing.T, ld *lint.Loader, caseDir string) []*lint.Package {
+	t.Helper()
 	var pkgDirs []string
 	err := filepath.WalkDir(caseDir, func(path string, d os.DirEntry, err error) error {
 		if err != nil || !d.IsDir() {
@@ -114,21 +133,20 @@ func renderCase(t *testing.T, ld *lint.Loader, caseDir string) string {
 	if len(pkgDirs) == 0 {
 		t.Fatalf("case %s has no fixture packages", caseDir)
 	}
-	var b strings.Builder
+	var pkgs []*lint.Package
 	for _, dir := range pkgDirs {
 		pkg, err := ld.Load(dir)
 		if err != nil {
 			t.Fatalf("load %s: %v", dir, err)
 		}
-		for _, f := range lint.Run(pkg, lint.Analyzers()) {
-			if rel, err := filepath.Rel(caseDir, f.Pos.Filename); err == nil {
-				f.Pos.Filename = filepath.ToSlash(rel)
-			}
-			b.WriteString(f.String())
-			b.WriteByte('\n')
+		pkgs = append(pkgs, pkg)
+	}
+	if filepath.Base(caseDir) == "noallocescape" {
+		if err := ld.CaptureEscapes(pkgs); err != nil {
+			t.Fatalf("capture escapes for %s: %v", caseDir, err)
 		}
 	}
-	return b.String()
+	return pkgs
 }
 
 func hasGoFiles(dir string) bool {
@@ -164,21 +182,13 @@ func TestGoldenCasesCoverEveryAnalyzer(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		_ = filepath.WalkDir(caseDir, func(path string, d os.DirEntry, err error) error {
-			if err != nil || !d.IsDir() || path == caseDir || !hasGoFiles(path) {
-				return err
-			}
-			pkg, err := ld.Load(path)
-			if err != nil {
-				t.Fatalf("load %s: %v", path, err)
-			}
+		for _, pkg := range loadCase(t, ld, caseDir) {
 			for _, f := range lint.Run(pkg, lint.Analyzers()) {
 				if !f.Suppressed {
 					counts[f.Analyzer]++
 				}
 			}
-			return nil
-		})
+		}
 	}
 	for _, a := range lint.Analyzers() {
 		if counts[a.Name] < 2 {
@@ -218,11 +228,20 @@ func TestRepoIsClean(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
+	var pkgs []*lint.Package
 	for _, dir := range dirs {
 		pkg, err := ld.Load(dir)
 		if err != nil {
 			t.Fatalf("load %s: %v", dir, err)
 		}
+		pkgs = append(pkgs, pkg)
+	}
+	// The repo always builds, so the compiler cross-check runs here
+	// with full force — the same capture the CLI performs.
+	if err := ld.CaptureEscapes(pkgs); err != nil {
+		t.Fatal(err)
+	}
+	for _, pkg := range pkgs {
 		for _, f := range lint.Active(lint.Run(pkg, lint.Analyzers())) {
 			t.Errorf("repo not rowlint-clean: %s", f.String())
 		}

@@ -32,6 +32,21 @@ type Package struct {
 	// with partial type information; `go build` is the authority on
 	// whether the code compiles.
 	TypeErrors []error
+
+	// Escapes holds compiler escape diagnostics captured from
+	// `go build -gcflags=-m` (see CaptureEscapes); EscapesCaptured
+	// distinguishes "captured, none found" from "never captured", so
+	// the noalloc-escape analyzer can refuse to pass vacuously.
+	Escapes         []BuildDiag
+	EscapesCaptured bool
+
+	// loader links back to the module loader so cross-package
+	// ownership annotations resolve through the memoized package set.
+	loader *Loader
+	// own memoizes the package's shard-ownership annotation table.
+	own *ownership
+	// decls memoizes FuncDecls().
+	decls map[*types.Func]*ast.FuncDecl
 }
 
 // TypeOf returns the static type of an expression, or nil when type
@@ -70,6 +85,9 @@ type Loader struct {
 	pkgs map[string]*Package // by import path
 
 	loading map[string]bool // cycle guard
+
+	// readonlyMemo caches methodReadOnly results across packages.
+	readonlyMemo map[*types.Func]bool
 }
 
 // NewLoader builds a loader for the module rooted at modRoot.
@@ -82,6 +100,8 @@ func NewLoader(modRoot, modPath string) *Loader {
 		std:     importer.ForCompiler(fset, "source", nil).(types.ImporterFrom),
 		pkgs:    make(map[string]*Package),
 		loading: make(map[string]bool),
+
+		readonlyMemo: make(map[*types.Func]bool),
 	}
 }
 
@@ -165,10 +185,11 @@ func (l *Loader) Load(dir string) (*Package, error) {
 	}
 
 	pkg := &Package{
-		Path: path,
-		Dir:  dir,
-		Fset: l.fset,
-		Src:  make(map[string][]byte),
+		Path:   path,
+		Dir:    dir,
+		Fset:   l.fset,
+		Src:    make(map[string][]byte),
+		loader: l,
 		Info: &types.Info{
 			Types:      make(map[ast.Expr]types.TypeAndValue),
 			Defs:       make(map[*ast.Ident]types.Object),

@@ -1,0 +1,362 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// OwnershipEdge is one aggregated cross-domain access in the
+// whole-program walk: state in domain To touched from code executing
+// in domain From, through one named target.
+type OwnershipEdge struct {
+	From   string   `json:"from"`
+	To     string   `json:"to"`
+	Kind   string   `json:"kind"` // call | write | alias | read
+	Target string   `json:"target"`
+	Class  string   `json:"class"` // mesh-mediated | seam | scheduler | read-only | message | suppressed | unclassified
+	Reason string   `json:"reason,omitempty"`
+	Count  int      `json:"count"`
+	Sites  []string `json:"sites"` // up to maxEdgeSites file:line samples
+}
+
+const maxEdgeSites = 3
+
+// OwnershipReport is the machine-readable shard-partition proof
+// rowlint -ownership-report emits: the complete domain map plus every
+// cross-domain edge reachable from the //rowlint:entry run loops,
+// classified. Zero unclassified edges is the property the
+// epoch/barrier parallelism plan needs, and what CI gates on.
+type OwnershipReport struct {
+	Module  string   `json:"module"`
+	Entries []string `json:"entries"` // //rowlint:entry roots walked
+	// Domains maps each domain to the named types it owns, the
+	// "complete domain map" half of the proof: every mutable simulator
+	// type appears under exactly one domain.
+	Domains      map[string][]string `json:"domains"`
+	Edges        []OwnershipEdge     `json:"edges"`
+	Unclassified int                 `json:"unclassified"`
+}
+
+// JSON renders the report for the CI artifact.
+func (r *OwnershipReport) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}
+
+// BuildOwnershipReport walks every function reachable from the
+// //rowlint:entry roots of the given packages, tracking the ownership
+// domain the walk executes in, and aggregates every domain crossing.
+//
+// Domain transitions at call sites follow classifyCall: internal calls
+// keep the caller's context; scheduler visits, declared seams,
+// mesh-mediated sends and message manipulation continue in the
+// callee's own domain; read-only crossings are recorded but not
+// entered (the probe already proved the subtree mutation-free).
+// Interface calls fan out to every implementation in the module.
+// Writes with a //rowlint:ignore shardown directive at the site
+// classify as suppressed, carrying the directive's reason.
+func BuildOwnershipReport(l *Loader, pkgs []*Package) (*OwnershipReport, error) {
+	w := &ownWalker{
+		loader:  l,
+		visited: make(map[walkKey]bool),
+		edges:   make(map[string]*OwnershipEdge),
+		dirs:    make(map[*Package]directiveSet),
+	}
+	rep := &OwnershipReport{
+		Module:  l.ModPath,
+		Domains: make(map[string][]string),
+	}
+
+	// The domain map: every named type in the linted packages that
+	// resolves to a domain, explicit or package-inferred.
+	for _, p := range sortedPackages(pkgs) {
+		if p.Types == nil {
+			continue
+		}
+		r := resolver{pkg: p}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if d := r.typeDomain(tn.Type()); d != DomainNone {
+				key := d.Render()
+				rep.Domains[key] = append(rep.Domains[key], p.Types.Name()+"."+tn.Name())
+			}
+		}
+	}
+
+	// Walk from the annotated entry roots.
+	for _, p := range sortedPackages(pkgs) {
+		for _, fd := range p.Ownership().entries {
+			fn, _ := p.defObj(fd.Name).(*types.Func)
+			if fn == nil {
+				continue
+			}
+			ctx := receiverDomain(p, fd)
+			if ctx == DomainNone {
+				ctx = DomainSimGlobal
+			}
+			rep.Entries = append(rep.Entries, renderFunc(fn))
+			w.walk(p, fn, ctx)
+		}
+	}
+	if len(rep.Entries) == 0 {
+		return nil, fmt.Errorf("lint: no //rowlint:entry functions in the linted packages; annotate the run loop's visit roots")
+	}
+	sort.Strings(rep.Entries)
+
+	for _, e := range w.edges {
+		if e.Class == classUnclassified {
+			rep.Unclassified++
+		}
+		rep.Edges = append(rep.Edges, *e)
+	}
+	sort.Slice(rep.Edges, func(i, j int) bool {
+		a, b := rep.Edges[i], rep.Edges[j]
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		if a.To != b.To {
+			return a.To < b.To
+		}
+		if a.Target != b.Target {
+			return a.Target < b.Target
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		return a.Class < b.Class
+	})
+	return rep, nil
+}
+
+// walkKey identifies one (function, executing domain) walk state.
+type walkKey struct {
+	fn  *types.Func
+	ctx Domain
+}
+
+type ownWalker struct {
+	loader  *Loader
+	visited map[walkKey]bool
+	edges   map[string]*OwnershipEdge
+	dirs    map[*Package]directiveSet
+}
+
+func (w *ownWalker) walk(pkg *Package, fn *types.Func, ctx Domain) {
+	key := walkKey{fn: fn, ctx: ctx}
+	if w.visited[key] {
+		return
+	}
+	w.visited[key] = true
+	fd := pkg.FuncDecls()[fn]
+	if fd == nil || fd.Body == nil {
+		return
+	}
+	walkAccesses(pkg, ctx, fd.Body, func(acc access) {
+		w.record(pkg, ctx, acc)
+	})
+}
+
+// record classifies one access and aggregates it into the edge map,
+// recursing through call boundaries per the transition rules.
+func (w *ownWalker) record(pkg *Package, ctx Domain, acc access) {
+	switch acc.kind {
+	case accCall:
+		cc := classifyCall(pkg, ctx, acc)
+		if cc.name == classUnclassified {
+			if reason, ok := w.suppressed(pkg, acc); ok {
+				cc = callClass{name: classSuppressed, to: cc.to, reason: reason}
+			}
+		}
+		if cc.name != classInternal {
+			w.add(ctx, cc.to, "call", acc.desc, cc.name, cc.reason, pkg, acc)
+		}
+		w.descend(pkg, ctx, acc, cc)
+	case accWrite, accAlias:
+		pl := acc.target
+		kind := "write"
+		if acc.kind == accAlias {
+			kind = "alias"
+		}
+		switch {
+		case pl.domain == DomainNone && !pl.pkgLevel,
+			pl.domain == DomainMessage,
+			pl.domain == ctx && !pl.crossInstance:
+			return
+		case acc.kind == accAlias && ctx == DomainSimGlobal:
+			// The driver wiring components together at construction and
+			// visit time is the scheduler's job.
+			w.add(ctx, pl.domain, kind, acc.desc, classScheduler, "", pkg, acc)
+			return
+		case acc.kind == accAlias && pl.domain == DomainReadonly:
+			// Holding a reference to immutable configuration is how
+			// components read it; the alias cannot leak mutable state.
+			w.add(ctx, pl.domain, kind, acc.desc, classReadOnly, "", pkg, acc)
+			return
+		}
+		class, reason := classUnclassified, ""
+		if ctx == DomainSimGlobal && acc.kind == accWrite && !pl.pkgLevel && pl.domain != DomainReadonly {
+			class = classScheduler
+		}
+		if class == classUnclassified {
+			if r, ok := w.suppressed(pkg, acc); ok {
+				class, reason = classSuppressed, r
+			}
+		}
+		w.add(ctx, pl.domain, kind, acc.desc, class, reason, pkg, acc)
+	case accRead:
+		pl := acc.target
+		class := classReadOnly
+		if ctx == DomainSimGlobal {
+			class = classScheduler
+		}
+		w.add(ctx, pl.domain, "read", acc.desc, class, "", pkg, acc)
+	}
+}
+
+// descend continues the walk through a call boundary in the domain the
+// callee executes in.
+func (w *ownWalker) descend(pkg *Package, ctx Domain, acc access, cc callClass) {
+	next := cc.to
+	switch cc.name {
+	case classInternal:
+		next = ctx
+	case classReadOnly:
+		return // subtree proven mutation-free by the probe
+	case classUnclassified, classSuppressed:
+		return // an illegal or silenced crossing is a boundary, not a path
+	}
+	r := resolver{pkg: pkg}
+	fn := acc.callee
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		if _, isIface := sig.Recv().Type().Underlying().(*types.Interface); isIface {
+			for _, impl := range w.implementations(fn) {
+				ip := resolver{pkg: pkg}.pkgFor(impl)
+				if ip == nil {
+					continue
+				}
+				d := r.typeDomain(impl.Type().(*types.Signature).Recv().Type())
+				if d == DomainNone {
+					d = next
+				}
+				w.walk(ip, impl, d)
+			}
+			return
+		}
+	}
+	dp := r.pkgFor(fn)
+	if dp == nil {
+		return // stdlib
+	}
+	if next == DomainNone {
+		return // seam into a free helper: the declaration covers it
+	}
+	w.walk(dp, fn, next)
+}
+
+// implementations finds every concrete method in the loaded module
+// satisfying an interface method, so interface-mediated calls (the
+// cache's core-side Client, the coherence Network) fan out to the real
+// component code.
+func (w *ownWalker) implementations(ifaceFn *types.Func) []*types.Func {
+	sig := ifaceFn.Type().(*types.Signature)
+	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
+	if !ok {
+		return nil
+	}
+	var out []*types.Func
+	var paths []string
+	for path := range w.loader.pkgs {
+		paths = append(paths, path)
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		p := w.loader.pkgs[path]
+		if p.Types == nil {
+			continue
+		}
+		scope := p.Types.Scope()
+		for _, name := range scope.Names() {
+			tn, ok := scope.Lookup(name).(*types.TypeName)
+			if !ok || tn.IsAlias() {
+				continue
+			}
+			if types.IsInterface(tn.Type()) {
+				continue
+			}
+			recv := types.Type(types.NewPointer(tn.Type()))
+			if !types.Implements(recv, iface) {
+				if !types.Implements(tn.Type(), iface) {
+					continue
+				}
+				recv = tn.Type()
+			}
+			obj, _, _ := types.LookupFieldOrMethod(recv, true, ifaceFn.Pkg(), ifaceFn.Name())
+			if m, ok := obj.(*types.Func); ok {
+				out = append(out, m)
+			}
+		}
+	}
+	return out
+}
+
+// suppressed looks for a //rowlint:ignore shardown directive at the
+// access site.
+func (w *ownWalker) suppressed(pkg *Package, acc access) (string, bool) {
+	set, ok := w.dirs[pkg]
+	if !ok {
+		set, _ = parseDirectives(pkg)
+		w.dirs[pkg] = set
+	}
+	pos := pkg.Fset.Position(acc.pos)
+	if d := set[directiveKey(pos.Filename, pos.Line, ShardOwn.Name)]; d != nil {
+		return d.reason, true
+	}
+	return "", false
+}
+
+func (w *ownWalker) add(from, to Domain, kind, target, class, reason string, pkg *Package, acc access) {
+	key := from.Render() + "\x00" + to.Render() + "\x00" + kind + "\x00" + target + "\x00" + class
+	e := w.edges[key]
+	if e == nil {
+		e = &OwnershipEdge{
+			From:   from.Render(),
+			To:     to.Render(),
+			Kind:   kind,
+			Target: target,
+			Class:  class,
+			Reason: reason,
+		}
+		w.edges[key] = e
+	}
+	e.Count++
+	if len(e.Sites) < maxEdgeSites {
+		pos := pkg.Fset.Position(acc.pos)
+		site := fmt.Sprintf("%s:%d", relToModule(w.loader, pos.Filename), pos.Line)
+		for _, s := range e.Sites {
+			if s == site {
+				return
+			}
+		}
+		e.Sites = append(e.Sites, site)
+	}
+}
+
+func relToModule(l *Loader, file string) string {
+	if rel, err := filepath.Rel(l.ModRoot, file); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return file
+}
+
+func sortedPackages(pkgs []*Package) []*Package {
+	out := append([]*Package(nil), pkgs...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}

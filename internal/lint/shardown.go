@@ -1,0 +1,423 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ShardOwn proves the shard-partition property the epoch/barrier
+// parallelism plan needs: every piece of mutable simulator state
+// belongs to one ownership domain (core[i], cache[i], bank[i], mesh,
+// sim-global, readonly, message — see Domain), and a component visited
+// by the run loop only ever writes its own. Domains come from
+// //rowlint:owner annotations on types and fields, with unannotated
+// types inferred from their package (DomainOfPackage).
+//
+// The analyzer checks every method executing in a component domain
+// and flags:
+//
+//   - writes (and alias escapes) to state owned by another domain
+//   - writes to readonly state (config, traces) anywhere
+//   - writes to package-level variables (state shared across every
+//     instance of a component, which no shard can own)
+//   - cross-instance access: indexing into a collection of component
+//     pointers reaches a peer whose identity is data-dependent
+//   - calls into another domain that are not mesh-mediated (the mesh
+//     is the one legal cross-shard channel), not a declared
+//     //rowlint:seam, not provably read-only, and not message-payload
+//     manipulation
+//
+// The sim-global domain (the System driver) is exempt from call and
+// alias checks: the sequential scheduler's whole job is to visit every
+// component, and the parallel plan replaces it per shard. Its direct
+// writes are still checked.
+//
+// rowlint -ownership-report complements this per-package pass with a
+// whole-program walk from the //rowlint:entry run loops, emitting the
+// machine-readable cross-domain edge map CI gates on.
+var ShardOwn = &Analyzer{
+	Name: "shardown",
+	Doc:  "flags writes, alias escapes and undeclared calls that cross shard-ownership domains",
+	Run:  runShardown,
+}
+
+func runShardown(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			ctx := receiverDomain(pass.Pkg, fd)
+			switch ctx {
+			case DomainCore, DomainCache, DomainBank, DomainMesh, DomainSimGlobal:
+			default:
+				continue // free functions and library-type methods inherit their caller's domain
+			}
+			walkAccesses(pass.Pkg, ctx, fd.Body, func(acc access) {
+				reportAccess(pass, ctx, acc)
+			})
+		}
+	}
+}
+
+// accessKind distinguishes the shapes of a domain crossing.
+type accessKind uint8
+
+const (
+	accWrite accessKind = iota
+	accAlias
+	accCall
+	accRead
+)
+
+// access is one observation the ownership walker emits: a write, an
+// alias escape, a resolvable call, or a cross-domain field read.
+type access struct {
+	pos    token.Pos
+	kind   accessKind
+	target place  // written/aliased/read state (writes, alias, reads)
+	desc   string // rendered target, e.g. "config.Config.NumCores" or "cache.Private.Deliver"
+
+	callee   *types.Func // resolved callee (calls only)
+	calleeTo place       // callee receiver's place (calls only)
+}
+
+// walkAccesses walks a function body executing in domain ctx and
+// reports every ownership-relevant access to visit. Reads are emitted
+// only for selector paths reaching a foreign domain (the report
+// classifies them; the per-package analyzer ignores them).
+func walkAccesses(pkg *Package, ctx Domain, body ast.Node, visit func(access)) {
+	written := make(map[ast.Expr]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			if n.Tok == token.DEFINE {
+				return true
+			}
+			for _, lhs := range n.Lhs {
+				written[lhs] = true
+				pl := containerPlace(pkg, ctx, lhs)
+				visit(access{pos: lhs.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, lhs)})
+			}
+		case *ast.IncDecStmt:
+			written[n.X] = true
+			pl := containerPlace(pkg, ctx, n.X)
+			visit(access{pos: n.X.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, n.X)})
+		case *ast.UnaryExpr:
+			if n.Op != token.AND {
+				return true
+			}
+			pl := exprPlace(pkg, ctx, n.X)
+			visit(access{pos: n.Pos(), kind: accAlias, target: pl, desc: renderTarget(pkg, n.X)})
+		case *ast.CallExpr:
+			fn := resolveCallee(pkg, n)
+			if fn == nil {
+				return true
+			}
+			acc := access{pos: n.Pos(), kind: accCall, callee: fn, desc: renderFunc(fn)}
+			if sel, ok := n.Fun.(*ast.SelectorExpr); ok {
+				if recv := methodReceiverExpr(pkg, sel); recv != nil {
+					acc.calleeTo = exprPlace(pkg, ctx, recv)
+				}
+			}
+			visit(acc)
+		case *ast.SelectorExpr:
+			if written[n] {
+				return true
+			}
+			if pkg.Info != nil {
+				if sel, ok := pkg.Info.Selections[n]; ok && sel.Kind() == types.FieldVal {
+					pl := exprPlace(pkg, ctx, n)
+					if foreignRead(ctx, pl) {
+						visit(access{pos: n.Pos(), kind: accRead, target: pl, desc: renderTarget(pkg, n)})
+						return false // the outermost foreign selector covers its base
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// foreignRead reports whether reading state at pl crosses out of ctx.
+func foreignRead(ctx Domain, pl place) bool {
+	switch pl.domain {
+	case DomainNone, DomainMessage, ctx:
+		return pl.crossInstance && pl.domain == ctx
+	}
+	return true
+}
+
+// reportAccess turns one walker observation into a finding when it
+// violates the ownership rules (the per-package half of shardown; the
+// whole-program report additionally classifies the legal crossings).
+func reportAccess(pass *Pass, ctx Domain, acc access) {
+	switch acc.kind {
+	case accWrite:
+		pl := acc.target
+		switch {
+		case pl.pkgLevel:
+			pass.Reportf(acc.pos, "write to package-level state %s: shared across every %s instance, so no shard can own it; make it per-component or justify with //rowlint:ignore shardown <reason>",
+				acc.desc, ctx.Render())
+		case pl.domain == DomainReadonly:
+			pass.Reportf(acc.pos, "write to readonly state %s from %s context: config and traces are immutable after construction; copy the value into owned state or justify with //rowlint:ignore shardown <reason>",
+				acc.desc, ctx.Render())
+		case pl.domain == DomainNone, pl.domain == DomainMessage:
+			// Locals, library state embedded in the receiver, and
+			// message payloads held by this component.
+		case pl.domain != ctx:
+			pass.Reportf(acc.pos, "cross-domain write to %s state %s from %s context: route it through the mesh message API or a //rowlint:seam, or justify with //rowlint:ignore shardown <reason>",
+				pl.domain.Render(), acc.desc, ctx.Render())
+		case pl.crossInstance:
+			pass.Reportf(acc.pos, "cross-instance write to peer %s state %s: the written instance is data-dependent, not the visiting component; route it through the mesh or justify with //rowlint:ignore shardown <reason>",
+				ctx.Render(), acc.desc)
+		}
+	case accAlias:
+		if ctx == DomainSimGlobal {
+			return // the driver hands out component references by design
+		}
+		pl := acc.target
+		if (pl.domain != DomainNone && pl.domain != DomainMessage && pl.domain != ctx && pl.domain != DomainReadonly) ||
+			(pl.domain == ctx && pl.crossInstance) {
+			pass.Reportf(acc.pos, "alias escape: taking the address of %s state %s from %s context lets writes bypass the ownership check; pass a message or justify with //rowlint:ignore shardown <reason>",
+				pl.domain.Render(), acc.desc, ctx.Render())
+		}
+	case accCall:
+		if ctx == DomainSimGlobal {
+			return // the sequential scheduler visits everyone by design
+		}
+		class := classifyCall(pass.Pkg, ctx, acc)
+		if class.name != classUnclassified {
+			return
+		}
+		pass.Reportf(acc.pos, "cross-domain call to %s method %s from %s context: not mesh-mediated, not a //rowlint:seam, and not provably read-only; declare the seam or justify with //rowlint:ignore shardown <reason>",
+			class.to.Render(), acc.desc, ctx.Render())
+	}
+}
+
+// classification names for cross-domain edges (also the report's
+// vocabulary).
+const (
+	classInternal     = ""              // same domain, same instance: not an edge
+	classMesh         = "mesh-mediated" // through the interconnect, the legal channel
+	classScheduler    = "scheduler"     // the sequential driver visiting components
+	classSeam         = "seam"          // a declared //rowlint:seam crossing
+	classReadOnly     = "read-only"     // provably mutation-free foreign access
+	classMessage      = "message"       // transferable payload manipulation
+	classSuppressed   = "suppressed"    // silenced //rowlint:ignore shardown with reason
+	classUnclassified = "unclassified"  // an illegal crossing: a finding and a CI failure
+)
+
+// callClass is a classified call edge.
+type callClass struct {
+	name   string
+	to     Domain
+	reason string // seam reason when name == classSeam
+}
+
+// classifyCall decides how a resolvable call from ctx crosses domains.
+func classifyCall(pkg *Package, ctx Domain, acc access) callClass {
+	r := resolver{pkg: pkg}
+	fn := acc.callee
+	to := DomainNone
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		to = r.typeDomain(sig.Recv().Type())
+	}
+	crossInstance := acc.calleeTo.crossInstance
+	if to == DomainNone && !crossInstance {
+		// Free functions and library-type methods execute in the
+		// caller's domain; their own bodies are checked (or walked by
+		// the report) in that context.
+		return callClass{name: classInternal, to: ctx}
+	}
+	if to == ctx && !crossInstance {
+		return callClass{name: classInternal, to: to}
+	}
+	if to == DomainMessage {
+		return callClass{name: classMessage, to: to}
+	}
+	if to == DomainMesh {
+		return callClass{name: classMesh, to: to}
+	}
+	if reason, ok := r.seamReason(fn); ok {
+		return callClass{name: classSeam, to: to, reason: reason}
+	}
+	if ctx == DomainSimGlobal {
+		return callClass{name: classScheduler, to: to}
+	}
+	if to == DomainReadonly || methodReadOnly(r, fn) {
+		return callClass{name: classReadOnly, to: to}
+	}
+	return callClass{name: classUnclassified, to: to}
+}
+
+// resolveCallee resolves a call to a concrete or interface function
+// object (nil for builtins, conversions and func-typed values).
+func resolveCallee(pkg *Package, call *ast.CallExpr) *types.Func {
+	if pkg.Info == nil {
+		return nil
+	}
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := pkg.Info.Uses[id].(*types.Func)
+	return fn
+}
+
+// methodReceiverExpr returns the receiver expression of a method call
+// spelled x.M (nil for package-qualified calls).
+func methodReceiverExpr(pkg *Package, sel *ast.SelectorExpr) ast.Expr {
+	if pkg.Info == nil {
+		return nil
+	}
+	if s, ok := pkg.Info.Selections[sel]; ok && s.Kind() == types.MethodVal {
+		return sel.X
+	}
+	return nil
+}
+
+// methodReadOnly reports whether fn provably never mutates domained
+// state: its body (and, recursively, same-module callees up to a small
+// depth) contains no write whose container carries a domain, no
+// package-level write, and no unresolvable or interface call.
+// Stdlib calls are trusted not to mutate simulator state. The result
+// is memoized on the loader.
+func methodReadOnly(r resolver, fn *types.Func) bool {
+	if r.pkg.loader == nil {
+		return false
+	}
+	return methodReadOnlyDepth(r, fn, 6)
+}
+
+func methodReadOnlyDepth(r resolver, fn *types.Func, depth int) bool {
+	memo := r.pkg.loader.readonlyMemo
+	if v, ok := memo[fn]; ok {
+		return v
+	}
+	if depth == 0 {
+		return false
+	}
+	dp := r.pkgFor(fn)
+	if dp == nil {
+		return false // stdlib and unloaded targets are never proofs
+	}
+	fd := dp.FuncDecls()[fn]
+	if fd == nil || fd.Body == nil {
+		return false
+	}
+	// Optimistic for recursion: a cycle is read-only unless some
+	// member writes, which flips the final memoized result.
+	memo[fn] = true
+	ctx := receiverDomain(dp, fd)
+	readonly := true
+	walkAccesses(dp, ctx, fd.Body, func(acc access) {
+		if !readonly {
+			return
+		}
+		switch acc.kind {
+		case accWrite:
+			if acc.target.domain != DomainNone || acc.target.pkgLevel {
+				readonly = false
+			}
+		case accAlias:
+			// Handing out addresses of owned state is fine for a
+			// read-only probe only when the state has no domain.
+			if acc.target.domain != DomainNone {
+				readonly = false
+			}
+		case accCall:
+			callee := acc.callee
+			if callee.Pkg() == nil {
+				readonly = false
+				return
+			}
+			if r.pkgFor(callee) == nil {
+				// Outside the module: trust the stdlib not to reach
+				// back into simulator state.
+				return
+			}
+			if !methodReadOnlyDepth(r, callee, depth-1) {
+				readonly = false
+			}
+		}
+	})
+	memo[fn] = readonly
+	return readonly
+}
+
+// FuncDecls indexes the package's function and method declarations by
+// their type-checker objects, memoized.
+func (p *Package) FuncDecls() map[*types.Func]*ast.FuncDecl {
+	if p.decls == nil {
+		p.decls = packageFuncDecls(p)
+	}
+	return p.decls
+}
+
+// renderTarget renders the state an lvalue denotes as Type.field when
+// resolvable, falling back to the source text shape.
+func renderTarget(pkg *Package, e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.SelectorExpr:
+		if pkg.Info != nil {
+			if sel, ok := pkg.Info.Selections[e]; ok && sel.Kind() == types.FieldVal {
+				return typeShortName(sel.Recv()) + "." + e.Sel.Name
+			}
+		}
+		return renderTarget(pkg, e.X) + "." + e.Sel.Name
+	case *ast.Ident:
+		if obj := pkg.ObjectOf(e); obj != nil {
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				return v.Pkg().Name() + "." + v.Name()
+			}
+		}
+		return e.Name
+	case *ast.IndexExpr:
+		return renderTarget(pkg, e.X) + "[...]"
+	case *ast.StarExpr:
+		return renderTarget(pkg, e.X)
+	case *ast.ParenExpr:
+		return renderTarget(pkg, e.X)
+	case *ast.CallExpr:
+		return renderTarget(pkg, e.Fun) + "()"
+	}
+	return "<expr>"
+}
+
+// typeShortName renders a type as pkg.Name, dropping pointers.
+func typeShortName(t types.Type) string {
+	for {
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+			continue
+		}
+		break
+	}
+	if named, ok := t.(*types.Named); ok {
+		tn := named.Obj()
+		if tn.Pkg() != nil {
+			return tn.Pkg().Name() + "." + tn.Name()
+		}
+		return tn.Name()
+	}
+	return t.String()
+}
+
+// renderFunc renders a function object as pkg.Type.Method or pkg.Func.
+func renderFunc(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		return typeShortName(sig.Recv().Type()) + "." + fn.Name()
+	}
+	if fn.Pkg() != nil {
+		return fn.Pkg().Name() + "." + fn.Name()
+	}
+	return fn.Name()
+}

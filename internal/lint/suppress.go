@@ -23,7 +23,17 @@ func directiveKey(file string, line int, analyzer string) string {
 }
 
 func (s directiveSet) match(f Finding) *directive {
-	return s[directiveKey(f.Pos.Filename, f.Pos.Line, f.Analyzer)]
+	if d := s[directiveKey(f.Pos.Filename, f.Pos.Line, f.Analyzer)]; d != nil {
+		return d
+	}
+	if f.Analyzer == NoAllocEscape.Name {
+		// A //rowlint:ignore noalloc on the line also covers the
+		// compiler-proven diagnostic for the same allocation: the
+		// justification is the same, and requiring it twice would just
+		// duplicate the reason text.
+		return s[directiveKey(f.Pos.Filename, f.Pos.Line, NoAlloc.Name)]
+	}
+	return nil
 }
 
 // noallocMarker is the doc-comment annotation opting a function into
@@ -62,15 +72,30 @@ func parseDirectives(pkg *Package) (directiveSet, []Finding) {
 				if text == noallocMarker || strings.HasPrefix(text, noallocMarker+" ") {
 					continue // function annotation, handled by noalloc
 				}
+				if arg, ok := markerText(text, ownerMarker); ok {
+					if _, valid := parseDomain(arg); !valid {
+						report(c.Pos(), "//rowlint:owner needs exactly one domain out of "+domainSpellings)
+					}
+					continue // ownership annotation, consumed by Ownership()
+				}
+				if reason, ok := markerText(text, seamMarker); ok {
+					if reason == "" {
+						report(c.Pos(), "//rowlint:seam is missing the mandatory reason")
+					}
+					continue // seam declaration, consumed by Ownership()
+				}
+				if _, ok := markerText(text, entryMarker); ok {
+					continue // walk root, consumed by Ownership()
+				}
 				if !strings.HasPrefix(text, ignorePrefix) {
 					report(c.Pos(), "unknown rowlint directive "+firstField(text)+
-						" (want //rowlint:ignore or //rowlint:noalloc)")
+						" (want //rowlint:ignore, //rowlint:noalloc, //rowlint:owner, //rowlint:seam or //rowlint:entry)")
 					continue
 				}
 				rest := strings.TrimPrefix(text, ignorePrefix)
 				if rest != "" && !strings.HasPrefix(rest, " ") && !strings.HasPrefix(rest, "\t") {
 					report(c.Pos(), "unknown rowlint directive "+firstField(text)+
-						" (want //rowlint:ignore or //rowlint:noalloc)")
+						" (want //rowlint:ignore, //rowlint:noalloc, //rowlint:owner, //rowlint:seam or //rowlint:entry)")
 					continue
 				}
 				fields := strings.Fields(rest)
@@ -102,6 +127,19 @@ func parseDirectives(pkg *Package) (directiveSet, []Finding) {
 		}
 	}
 	return set, malformed
+}
+
+// markerText matches a directive spelling against a marker, returning
+// its trimmed argument text. Only exact or space-separated forms match
+// (so //rowlint:ownerx stays an unknown directive).
+func markerText(text, marker string) (string, bool) {
+	if text == marker {
+		return "", true
+	}
+	if rest, ok := strings.CutPrefix(text, marker+" "); ok {
+		return strings.TrimSpace(rest), true
+	}
+	return "", false
 }
 
 // standalone reports whether only whitespace precedes the comment on

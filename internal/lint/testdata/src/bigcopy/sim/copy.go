@@ -1,0 +1,59 @@
+// Package sim is a bigcopy fixture: oversized struct values copied by
+// assignment, argument, return and range, next to the pointer-shaped
+// idioms the analyzer must leave alone.
+package sim
+
+// Snap is 256 bytes — twice the 128-byte threshold.
+type Snap struct {
+	Words [32]uint64
+}
+
+// Tiny is far below the threshold.
+type Tiny struct {
+	A, B uint64
+}
+
+// Capture returns the snapshot by value — a full bulk copy per call.
+func Capture(s *Snap) Snap {
+	return *s
+}
+
+// CaptureP is the pointer-returning fix: no copy, not flagged.
+func CaptureP(s *Snap) *Snap {
+	return s
+}
+
+// Consume takes the snapshot by value — a bulk copy at every call site.
+func Consume(s Snap) uint64 {
+	return s.Words[0]
+}
+
+// Sum copies every element into the range value.
+func Sum(all []Snap) uint64 {
+	var t uint64
+	for _, s := range all {
+		t += s.Words[0]
+	}
+	return t
+}
+
+// SumP ranges by index — no copy, not flagged.
+func SumP(all []Snap) uint64 {
+	var t uint64
+	for i := range all {
+		t += all[i].Words[0]
+	}
+	return t
+}
+
+// Stash seeds assignment and argument copies, a composite-literal
+// construction the analyzer must not flag, and a justified copy kept
+// suppressed.
+func Stash(s *Snap) uint64 {
+	local := *s
+	fresh := Snap{} // construction in place, not a copy
+	fresh = local   //rowlint:ignore bigcopy fixture: justified copy, kept suppressed
+	small := Tiny{A: 1}
+	other := small // below threshold: legal
+	return Consume(fresh) + other.A
+}

@@ -1,0 +1,54 @@
+// Package cache is a noalloc-escape fixture: //rowlint:noalloc
+// functions whose locals the compiler proves to reach the heap, next
+// to stack-bound code the analyzer must not flag and both suppression
+// spellings (a direct noalloc-escape ignore, and an existing noalloc
+// ignore covering the compiler-proven form of the same allocation).
+// Unlike the other fixtures this package must actually compile: the
+// harness runs `go build -gcflags=-m` over it to capture diagnostics.
+package cache
+
+// Item is a tiny payload; the escapes come from lifetimes, not size.
+type Item struct{ V uint64 }
+
+var sink *uint64
+
+// Leak returns the address of a local: the compiler moves it to the
+// heap.
+//
+//rowlint:noalloc
+func Leak() *Item {
+	it := Item{V: 1}
+	return &it
+}
+
+// Stash parks a local's address in package state: moved to heap.
+//
+//rowlint:noalloc
+func Stash(v uint64) {
+	x := v
+	sink = &x
+}
+
+// Fresh allocates on a justified cold path, suppressed directly.
+//
+//rowlint:noalloc
+func Fresh() *Item {
+	return new(Item) //rowlint:ignore noalloc-escape fixture: justified cold allocation, kept suppressed
+}
+
+// Covered allocates under an existing noalloc ignore; the ignore
+// covers the compiler-proven form of the same allocation.
+//
+//rowlint:noalloc
+func Covered() *Item {
+	return &Item{V: 2} //rowlint:ignore noalloc fixture: justified cold allocation, kept suppressed
+}
+
+// Stays is allocation-free: everything stays on the stack.
+//
+//rowlint:noalloc
+func Stays(it Item) uint64 {
+	t := it.V
+	p := &t
+	return *p
+}

@@ -1,0 +1,65 @@
+// Package core is a shardown fixture: a miniature core/cache pair
+// seeding every violation shape the analyzer must catch — cross-domain
+// writes, alias escapes, cross-instance access, package-level writes
+// and undeclared cross-domain calls — next to the legal idioms it must
+// not flag (own-state mutation, declared seams, provably read-only
+// probes, suppression with a reason).
+package core
+
+// CacheSide stands in for the paired private cache: state owned by the
+// cache shard, not by the visiting core.
+//
+//rowlint:owner cache[i]
+type CacheSide struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Bump mutates the cache's own counters from cache context — legal.
+func (c *CacheSide) Bump() { c.Hits++ }
+
+// Probe is provably read-only; foreign domains may call it freely.
+func (c *CacheSide) Probe() uint64 { return c.Hits }
+
+// Deliver is the declared core→cache entry point.
+//
+//rowlint:seam same-index core→cache handoff; core[i] and cache[i] share a shard
+func (c *CacheSide) Deliver(v uint64) { c.Misses = v }
+
+// Mutate is an undeclared mutating entry point: calling it from core
+// context must be flagged.
+func (c *CacheSide) Mutate(v uint64) { c.Misses = v }
+
+// Core is the visiting component; its domain is inferred from the
+// package name.
+type Core struct {
+	cycles uint64
+	cache  *CacheSide
+	peers  []*Core
+}
+
+// totalTicks is shared across every core instance — no shard owns it.
+var totalTicks uint64
+
+// Run drives the fixture components the way a scheduler would.
+//
+//rowlint:entry
+func Run(cores []*Core) {
+	for _, c := range cores {
+		c.Tick()
+	}
+}
+
+// Tick seeds one of each violation among legal accesses.
+func (c *Core) Tick() {
+	c.cycles++          // own state: legal
+	c.cache.Hits++      // cross-domain write into the cache shard
+	totalTicks++        // package-level write
+	c.peers[0].cycles++ // cross-instance write into a peer core
+	c.cache.Mutate(1)   // undeclared mutating call into the cache shard
+	c.cache.Deliver(1)  // declared seam: legal
+	_ = c.cache.Probe() // provably read-only: legal
+	p := &c.cache.Hits  // alias escape of cache-owned state
+	_ = p
+	c.cache.Misses = 0 //rowlint:ignore shardown fixture: justified crossing, kept suppressed
+}

@@ -895,14 +895,14 @@ type modelSnap struct {
 	clock    uint64
 	bugFired bool
 	cores    []coreSnap
-	caches   []cache.CacheSnap
-	dirs     []coherence.DirSnap
+	caches   []*cache.CacheSnap
+	dirs     []*coherence.DirSnap
 	mesh     interconnect.MeshSnap
 	pool     coherence.PoolSnap
 }
 
-func (m *Model) snapshot() modelSnap {
-	s := modelSnap{
+func (m *Model) snapshot() *modelSnap {
+	s := &modelSnap{
 		clock:    m.clock,
 		bugFired: m.bugFired,
 		mesh:     m.mesh.Snapshot(),
@@ -924,7 +924,7 @@ func (m *Model) snapshot() modelSnap {
 	return s
 }
 
-func (m *Model) restore(s modelSnap) {
+func (m *Model) restore(s *modelSnap) {
 	m.clock = s.clock
 	m.bugFired = s.bugFired
 	m.mesh.Restore(s.mesh)

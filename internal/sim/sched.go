@@ -69,6 +69,8 @@ func ParseScheduler(s string) (Scheduler, error) {
 //     of 1024 or checkEvery, or MaxCycles+1, so the watchdog, context
 //     poll, coherence check, checkpoints and the cycle budget fire at
 //     identical simulated cycles.
+//
+//rowlint:entry
 func (s *System) runEvent(ctx context.Context, ms *maintState) (Result, error) {
 	n := len(s.caches)
 	cacheWake := make([]uint64, n)
@@ -183,7 +185,7 @@ func (s *System) runEvent(ctx context.Context, ms *maintState) (Result, error) {
 	if err := s.checkMsgConservation(); err != nil {
 		return Result{}, err
 	}
-	return s.collect(), nil
+	return s.collect(), nil //rowlint:ignore bigcopy per-run result value, built once at run exit
 }
 
 // nextTarget computes the next cycle anything can happen at: the

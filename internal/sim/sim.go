@@ -288,6 +288,8 @@ type maintState struct {
 
 // runCycle is the reference lock-step loop: every cycle visits the
 // mesh, every bank, every cache and every active core.
+//
+//rowlint:entry
 func (s *System) runCycle(ctx context.Context, ms *maintState) (Result, error) {
 	// active holds the cores still running their programs, in core-index
 	// order. Compacting it as cores finish replaces the per-cycle
@@ -366,7 +368,7 @@ func (s *System) runCycle(ctx context.Context, ms *maintState) (Result, error) {
 	if err := s.checkMsgConservation(); err != nil {
 		return Result{}, err
 	}
-	return s.collect(), nil
+	return s.collect(), nil //rowlint:ignore bigcopy per-run result value, built once at run exit
 }
 
 // postCycle is the per-simulated-cycle epilogue shared by both
@@ -423,7 +425,7 @@ func (s *System) postCycle(ctx context.Context, cyc uint64, ms *maintState) erro
 			}
 			s.lastCkpt = cyc
 			snap := s.Snapshot()
-			if err := s.ckptFn(cyc, &snap); err != nil {
+			if err := s.ckptFn(cyc, snap); err != nil {
 				return fmt.Errorf("sim: checkpoint at cycle %d: %w", cyc, err)
 			}
 		}
@@ -485,7 +487,7 @@ func (s *System) MustRun() Result {
 	if err != nil {
 		panic(err)
 	}
-	return r
+	return r //rowlint:ignore bigcopy per-run result value, built once at run exit
 }
 
 // CheckCoherence verifies the single-writer/multiple-reader invariant

@@ -36,17 +36,20 @@ type SysSnap struct {
 	// one in the same scheduler mode.
 	Visited uint64                `json:"visited"`
 	Mesh    interconnect.MeshSnap `json:"mesh"`
-	Cores   []core.CoreSnap       `json:"cores"`
-	Caches  []cache.CacheSnap     `json:"caches"`
-	Dirs    []coherence.DirSnap   `json:"dirs"`
-	Pool    coherence.PoolSnap    `json:"pool"`
-	Faults  faults.InjectorSnap   `json:"faults"`
+	// The per-component snapshots are held by pointer: each one is
+	// built in place by its component and handed around by reference
+	// (a CoreSnap alone is ~900 bytes). JSON encoding is unchanged.
+	Cores  []*core.CoreSnap     `json:"cores"`
+	Caches []*cache.CacheSnap   `json:"caches"`
+	Dirs   []*coherence.DirSnap `json:"dirs"`
+	Pool   coherence.PoolSnap   `json:"pool"`
+	Faults faults.InjectorSnap  `json:"faults"`
 }
 
 // Snapshot captures the system's full mutable state. It is a pure
 // read: taking a snapshot never perturbs the run.
-func (s *System) Snapshot() SysSnap {
-	snap := SysSnap{
+func (s *System) Snapshot() *SysSnap {
+	snap := &SysSnap{
 		Cycle:   s.cycle,
 		Visited: s.visited,
 		Mesh:    s.mesh.Snapshot(),

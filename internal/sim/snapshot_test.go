@@ -24,7 +24,7 @@ func snapCfg(policy config.AtomicPolicy) *config.Config {
 // runToEnd runs the system and returns the result plus the final
 // system snapshot (the strongest equality witness: every counter and
 // table, not just the aggregated Result).
-func runToEnd(t *testing.T, s *System) (Result, SysSnap) {
+func runToEnd(t *testing.T, s *System) (Result, *SysSnap) {
 	t.Helper()
 	r, err := s.Run()
 	if err != nil {
@@ -144,7 +144,7 @@ func TestRestoreSnapShapeMismatch(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s2.RestoreSnap(&snap); err == nil {
+	if err := s2.RestoreSnap(snap); err == nil {
 		t.Fatal("restoring a 4-core snapshot into a 2-core system succeeded")
 	}
 
@@ -154,7 +154,7 @@ func TestRestoreSnapShapeMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	snap.Faults.RNGState = 42
-	if err := s3.RestoreSnap(&snap); err == nil {
+	if err := s3.RestoreSnap(snap); err == nil {
 		t.Fatal("restoring injector state into a faultless system succeeded")
 	}
 }
