@@ -8,6 +8,16 @@
 // summary and listed with -v. The pass is stdlib-only: it loads and
 // type-checks packages with go/parser + go/types, so it needs no
 // network and no tools beyond the Go distribution.
+//
+// Fast pre-commit runs: -only=<analyzer,...> restricts the analyzer
+// set and -changed[=<git-ref>] restricts linting to packages with
+// files modified since the ref (scripts/precommit.sh wires both).
+//
+// Whole-program artifacts: -ownership-report writes the classified
+// cross-domain edge map, and -shard-plan writes SHARDPLAN.json — the
+// machine-checked parallel execution plan (epoch bound, shard
+// assignments, per-seam verdicts). -fail-on selects which conditions
+// fail the run (findings, unclassified, unproven).
 package main
 
 import (
@@ -16,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"sort"
 	"strings"
@@ -27,13 +38,38 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// changedFlag implements -changed[=<git-ref>]: bare -changed compares
+// the working tree against HEAD, -changed=<ref> against the ref.
+type changedFlag struct {
+	set bool
+	ref string
+}
+
+func (c *changedFlag) String() string   { return c.ref }
+func (c *changedFlag) IsBoolFlag() bool { return true }
+
+func (c *changedFlag) Set(v string) error {
+	c.set = true
+	if v == "" || v == "true" {
+		c.ref = "HEAD"
+	} else {
+		c.ref = v
+	}
+	return nil
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("rowlint", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	verbose := fs.Bool("v", false, "also list suppressed findings")
-	only := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	analyzersFlag := fs.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	onlyFlag := fs.String("only", "", "comma-separated analyzer subset (alias of -analyzers)")
 	jsonOut := fs.Bool("json", false, "emit findings as a JSON array (suppressed included) instead of text")
 	reportPath := fs.String("ownership-report", "", "write the whole-program shard-ownership report (JSON) to this path ('-' for stdout); exits non-zero on unclassified edges")
+	planPath := fs.String("shard-plan", "", "write the machine-checked parallel execution plan (JSON) to this path ('-' for stdout); needs the full module (./...)")
+	failOn := fs.String("fail-on", "findings,unclassified,unproven", "comma-separated conditions that exit non-zero: findings, unclassified, unproven (or 'none')")
+	var changed changedFlag
+	fs.Var(&changed, "changed", "lint only packages with files modified since the given git ref (bare -changed: HEAD)")
 	bigcopyBytes := fs.Int64("bigcopy-bytes", lint.BigCopyThreshold, "struct-copy size threshold (bytes) for the bigcopy analyzer")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -44,7 +80,20 @@ func run(args []string, stdout, stderr io.Writer) int {
 		patterns = []string{"./..."}
 	}
 
-	analyzers, err := selectAnalyzers(*only)
+	only := *analyzersFlag
+	if *onlyFlag != "" {
+		if only != "" && only != *onlyFlag {
+			fmt.Fprintln(stderr, "rowlint: -only and -analyzers are aliases; pass just one")
+			return 2
+		}
+		only = *onlyFlag
+	}
+	analyzers, err := selectAnalyzers(only)
+	if err != nil {
+		fmt.Fprintln(stderr, "rowlint:", err)
+		return 2
+	}
+	gates, err := parseFailOn(*failOn)
 	if err != nil {
 		fmt.Fprintln(stderr, "rowlint:", err)
 		return 2
@@ -69,6 +118,17 @@ func run(args []string, stdout, stderr io.Writer) int {
 	if len(dirs) == 0 {
 		fmt.Fprintln(stderr, "rowlint: no packages match", strings.Join(patterns, " "))
 		return 2
+	}
+	if changed.set {
+		dirs, err = filterChanged(modRoot, changed.ref, dirs)
+		if err != nil {
+			fmt.Fprintln(stderr, "rowlint:", err)
+			return 2
+		}
+		if len(dirs) == 0 {
+			fmt.Fprintf(stderr, "rowlint: no packages changed since %s\n", changed.ref)
+			return 0
+		}
 	}
 
 	loader := lint.NewLoader(modRoot, modPath)
@@ -126,7 +186,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	code := 0
-	if active > 0 {
+	if active > 0 && gates["findings"] {
 		code = 1
 	}
 	if *reportPath != "" {
@@ -135,11 +195,107 @@ func run(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "rowlint:", err)
 			return 2
 		}
-		if unclassified > 0 && code == 0 {
+		if unclassified > 0 && gates["unclassified"] && code == 0 {
+			code = 1
+		}
+	}
+	if *planPath != "" {
+		clean, err := writeShardPlan(stderr, loader, pkgs, *planPath, stdout)
+		if err != nil {
+			fmt.Fprintln(stderr, "rowlint:", err)
+			return 2
+		}
+		if !clean && gates["unproven"] && code == 0 {
 			code = 1
 		}
 	}
 	return code
+}
+
+// parseFailOn resolves the -fail-on flag into the set of gating
+// conditions.
+func parseFailOn(s string) (map[string]bool, error) {
+	gates := make(map[string]bool)
+	if s == "" || s == "none" {
+		return gates, nil
+	}
+	for _, name := range strings.Split(s, ",") {
+		name = strings.TrimSpace(name)
+		switch name {
+		case "findings", "unclassified", "unproven":
+			gates[name] = true
+		default:
+			return nil, fmt.Errorf("unknown -fail-on condition %q (want findings, unclassified, unproven or none)", name)
+		}
+	}
+	return gates, nil
+}
+
+// filterChanged keeps only the package directories holding files git
+// reports as modified since ref (committed diffs, staged and unstaged
+// edits, plus untracked files).
+func filterChanged(modRoot, ref string, dirs []string) ([]string, error) {
+	changedDirs := make(map[string]bool)
+	record := func(out []byte) {
+		for _, line := range strings.Split(string(out), "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" {
+				continue
+			}
+			changedDirs[filepath.Join(modRoot, filepath.FromSlash(filepath.Dir(line)))] = true
+		}
+	}
+	diff := exec.Command("git", "-C", modRoot, "diff", "--name-only", ref, "--")
+	out, err := diff.Output()
+	if err != nil {
+		return nil, fmt.Errorf("-changed needs a git checkout: git diff --name-only %s: %v", ref, err)
+	}
+	record(out)
+	untracked := exec.Command("git", "-C", modRoot, "ls-files", "--others", "--exclude-standard")
+	out, err = untracked.Output()
+	if err != nil {
+		return nil, fmt.Errorf("-changed needs a git checkout: git ls-files: %v", err)
+	}
+	record(out)
+
+	var kept []string
+	for _, dir := range dirs {
+		if changedDirs[dir] {
+			kept = append(kept, dir)
+		}
+	}
+	return kept, nil
+}
+
+// writeShardPlan builds the parallel execution plan over the loaded
+// packages, writes it to path, and reports whether every plan check
+// gate is zero.
+func writeShardPlan(stderr io.Writer, loader *lint.Loader, pkgs []*lint.Package, path string, stdout io.Writer) (bool, error) {
+	plan, err := lint.BuildShardPlan(loader, pkgs)
+	if err != nil {
+		return false, err
+	}
+	data, err := plan.JSON()
+	if err != nil {
+		return false, err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		if _, err := stdout.Write(data); err != nil {
+			return false, err
+		}
+	} else if err := os.WriteFile(path, data, 0o644); err != nil {
+		return false, err
+	}
+	fmt.Fprintf(stderr, "rowlint: shard plan: %d seam(s) (%d unproven), epoch bound %d cycles, %d init-only violation(s), %d sync hazard(s), %d unclassified edge(s)\n",
+		len(plan.Seams), plan.Checks.UnprovenSeams, plan.Epoch.MinCrossShardLatencyCycles,
+		plan.Checks.InitOnlyViolations, plan.Checks.ShardSyncHazards, plan.Checks.UnclassifiedEdges)
+	for _, s := range plan.Seams {
+		if s.Verdict != "proven" {
+			fmt.Fprintf(stderr, "rowlint: unproven seam: %s (%s): %d finding(s)\n", s.Func, s.Kind, s.Findings)
+		}
+	}
+	return plan.Checks.Clean(), nil
 }
 
 // hasAnalyzer reports whether the selected set includes a.

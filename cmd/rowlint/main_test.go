@@ -1,6 +1,10 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -52,5 +56,226 @@ func TestRunRejectsUnknownAnalyzer(t *testing.T) {
 	}
 	if !strings.Contains(errOut.String(), `unknown analyzer "nope"`) {
 		t.Errorf("missing error text: %s", errOut.String())
+	}
+}
+
+// TestRunOnlySelectsAnalyzers: -only restricts the analyzer set (the
+// pre-commit fast path). Over the shardown fixture, -only shardown
+// must report exactly the shardown findings and none from epochsafe.
+func TestRunOnlySelectsAnalyzers(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-only", "shardown", "../../internal/lint/testdata/src/shardown/core"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	if !strings.Contains(got, "rowlint: 5 finding(s), 1 suppressed, 1 package(s)") {
+		t.Errorf("summary line missing or wrong with -only shardown:\n%s", got)
+	}
+	if strings.Contains(got, "epochsafe:") {
+		t.Errorf("-only shardown still ran epochsafe:\n%s", got)
+	}
+}
+
+// TestRunOnlyAliasConflict: -only and -analyzers are aliases; passing
+// both with different values is an error, same value is accepted.
+func TestRunOnlyAliasConflict(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run([]string{"-only", "shardown", "-analyzers", "maporder", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for conflicting alias values", code)
+	}
+	if !strings.Contains(errOut.String(), "-only and -analyzers are aliases") {
+		t.Errorf("missing alias-conflict error: %s", errOut.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	code := run([]string{"-only", "shardown", "-analyzers", "shardown", "../../internal/lint/testdata/src/shardown/core"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1 when both flags agree; stderr: %s", code, errOut.String())
+	}
+}
+
+// TestRunFailOnNone: -fail-on none reports findings but exits zero —
+// the advisory mode for incremental adoption.
+func TestRunFailOnNone(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-fail-on", "none", "../../internal/lint/testdata/src/shardown/core"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 with -fail-on none; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "shardown:") {
+		t.Errorf("findings not reported in advisory mode:\n%s", out.String())
+	}
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-fail-on", "sometimes", "."}, &out, &errOut); code != 2 {
+		t.Fatalf("exit code = %d, want 2 for unknown -fail-on condition", code)
+	}
+}
+
+// TestRunJSONOutput: -json keeps stdout parseable (the array is the
+// only thing on it) and loses no suppression reason.
+func TestRunJSONOutput(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-json", "../../internal/lint/testdata/src/suppress/sim"}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %s", code, errOut.String())
+	}
+	var findings []struct {
+		File       string `json:"file"`
+		Line       int    `json:"line"`
+		Analyzer   string `json:"analyzer"`
+		Message    string `json:"message"`
+		Suppressed bool   `json:"suppressed"`
+		Reason     string `json:"reason"`
+	}
+	if err := json.Unmarshal([]byte(out.String()), &findings); err != nil {
+		t.Fatalf("stdout is not a JSON array: %v\n%s", err, out.String())
+	}
+	if len(findings) != 7 {
+		t.Fatalf("got %d findings, want 7 (6 active + 1 suppressed)", len(findings))
+	}
+	reasons := 0
+	for _, f := range findings {
+		if f.File == "" || f.Line == 0 || f.Analyzer == "" || f.Message == "" {
+			t.Errorf("finding missing fields: %+v", f)
+		}
+		if f.Suppressed {
+			if f.Reason == "" {
+				t.Errorf("suppressed finding lost its reason: %+v", f)
+			}
+			reasons++
+		}
+	}
+	if reasons != 1 {
+		t.Errorf("got %d suppressed findings, want 1", reasons)
+	}
+}
+
+// TestRunShardPlanNeedsWholeModule: -shard-plan over a partial package
+// set cannot derive the epoch bound and must fail loudly instead of
+// emitting a half-plan.
+func TestRunShardPlanNeedsWholeModule(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-shard-plan", "-", "../../internal/lint/testdata/src/shardown/core"}, &out, &errOut)
+	if code != 2 {
+		t.Fatalf("exit code = %d, want 2 without config+interconnect in the set", code)
+	}
+	if !strings.Contains(errOut.String(), "needs the config and interconnect packages") {
+		t.Errorf("missing derivation error: %s", errOut.String())
+	}
+}
+
+// TestRunShardPlanStdout: -shard-plan - writes the plan after the
+// findings. The epochsafe fixture provides the entry root and seeded
+// violations, the real config and interconnect packages feed the
+// epoch-bound derivation; in advisory mode the unproven seams are
+// listed on stderr but the exit stays zero.
+func TestRunShardPlanStdout(t *testing.T) {
+	var out, errOut strings.Builder
+	code := run([]string{"-shard-plan", "-", "-fail-on", "none",
+		"../../internal/lint/testdata/src/epochsafe/core",
+		"../../internal/config", "../../internal/interconnect"}, &out, &errOut)
+	if code != 0 {
+		t.Fatalf("exit code = %d, want 0 in advisory mode; stderr: %s", code, errOut.String())
+	}
+	got := out.String()
+	start := strings.Index(got, "{")
+	if start < 0 {
+		t.Fatalf("no JSON object on stdout:\n%s", got)
+	}
+	var plan struct {
+		Version int `json:"version"`
+		Epoch   struct {
+			MinCrossShardLatencyCycles int64 `json:"min_cross_shard_latency_cycles"`
+		} `json:"epoch"`
+	}
+	if err := json.Unmarshal([]byte(got[start:]), &plan); err != nil {
+		t.Fatalf("plan JSON does not parse: %v\n%s", err, got[start:])
+	}
+	if plan.Version != 1 || plan.Epoch.MinCrossShardLatencyCycles != 7 {
+		t.Errorf("plan header = %+v, want version 1 and a 7-cycle bound", plan)
+	}
+	if !strings.Contains(errOut.String(), "epoch bound 7 cycles") {
+		t.Errorf("stderr summary missing the epoch bound: %s", errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "unproven seam: core.CacheSide.Spill") {
+		t.Errorf("stderr does not list the unproven seams: %s", errOut.String())
+	}
+}
+
+// TestRunChanged drives -changed against a throwaway git repository:
+// a clean tree lints nothing (exit 0 with a note), an edit brings the
+// package back into the linted set, and an untracked file counts too.
+func TestRunChanged(t *testing.T) {
+	if _, err := exec.LookPath("git"); err != nil {
+		t.Skip("git not installed")
+	}
+	dir := t.TempDir()
+	git := func(args ...string) {
+		t.Helper()
+		cmd := exec.Command("git", append([]string{"-C", dir,
+			"-c", "user.name=t", "-c", "user.email=t@t"}, args...)...)
+		if out, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("git %v: %v\n%s", args, err, out)
+		}
+	}
+	write := func(rel, content string) {
+		t.Helper()
+		path := filepath.Join(dir, rel)
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write("go.mod", "module tmpmod\n\ngo 1.22\n")
+	write("tiny/tiny.go", "package tiny\n\nfunc F() int { return 1 }\n")
+	git("init", "-q")
+	git("add", ".")
+	git("commit", "-q", "-m", "seed")
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+
+	// Clean tree: nothing to lint, and that is success, not an error.
+	var out, errOut strings.Builder
+	if code := run([]string{"-changed", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0 on a clean tree; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "no packages changed since HEAD") {
+		t.Errorf("missing clean-tree note: %s", errOut.String())
+	}
+
+	// An unstaged edit brings the package back.
+	write("tiny/tiny.go", "package tiny\n\nfunc F() int { return 2 }\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-changed", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0 (clean package); stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "0 finding(s), 0 suppressed, 1 package(s)") {
+		t.Errorf("edited package not linted:\n%s", out.String())
+	}
+
+	// -changed=<ref> and untracked files: a new package counts against
+	// an explicit ref as well.
+	git("add", ".")
+	git("commit", "-q", "-m", "edit")
+	write("fresh/fresh.go", "package fresh\n\nfunc G() int { return 3 }\n")
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-changed=HEAD", "./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("exit code = %d, want 0; stderr: %s", code, errOut.String())
+	}
+	if !strings.Contains(out.String(), "1 package(s)") {
+		t.Errorf("untracked package not picked up:\n%s", out.String())
 	}
 }

@@ -70,7 +70,7 @@ type ErrorSink struct {
 
 // Fail records the error; only the first one is kept.
 //
-//rowlint:seam first-error latch: any domain may report its failure; the run is over once one does, so the race is benign and the parallel plan can merge sinks at the failing epoch
+//rowlint:seam reduction first-error latch: any domain may report its failure; the run is over once one does, so the race is benign and the parallel plan can merge sinks at the failing epoch
 func (s *ErrorSink) Fail(e *ProtocolError) {
 	if s.err == nil {
 		s.err = e
@@ -89,7 +89,7 @@ func (s *ErrorSink) Suppressed() int { return s.suppressed }
 // (nil sink, e.g. driven directly by a unit test) keep the historical
 // fail-fast behaviour and panic with the structured error as payload.
 //
-//rowlint:seam same first-error latch as ErrorSink.Fail
+//rowlint:seam reduction same first-error latch as ErrorSink.Fail
 func Raise(s *ErrorSink, e *ProtocolError) {
 	if s != nil {
 		s.Fail(e)

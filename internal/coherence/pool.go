@@ -31,7 +31,7 @@ type MsgPool struct {
 
 // Get returns a zeroed message, recycling a released one when possible.
 //
-//rowlint:seam message allocation: the pool is a shared service every domain draws from; the parallel plan replicates free lists per shard and merges counters at epoch boundaries
+//rowlint:seam reduction message allocation: the pool is a shared service every domain draws from; the parallel plan replicates free lists per shard and merges the gets/puts counters at epoch boundaries
 func (p *MsgPool) Get() *Msg {
 	if p == nil {
 		return new(Msg)
@@ -48,7 +48,7 @@ func (p *MsgPool) Get() *Msg {
 // New returns a pooled message initialized to v (the literal-style
 // construction the protocol agents use: pool.New(Msg{Type: ..., ...})).
 //
-//rowlint:seam message allocation: same shared-pool seam as Get
+//rowlint:seam reduction message allocation: same shared-pool seam as Get
 func (p *MsgPool) New(v Msg) *Msg {
 	m := p.Get()
 	*m = v
@@ -59,7 +59,7 @@ func (p *MsgPool) New(v Msg) *Msg {
 // message is zeroed immediately so stale protocol state can never leak
 // into a later transaction through reuse.
 //
-//rowlint:seam message release: same shared-pool seam as Get
+//rowlint:seam reduction message release: same shared-pool seam as Get
 func (p *MsgPool) Put(m *Msg) {
 	if p == nil || m == nil {
 		return

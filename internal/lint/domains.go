@@ -104,6 +104,69 @@ const (
 	entryMarker = "//rowlint:entry"
 )
 
+// SeamKind is the checkable obligation a //rowlint:seam declares. A
+// seam is not trusted prose: the epochsafe analyzer proves the seam's
+// body (and, for interface seams, every implementation) honours the
+// declared kind, and the shard plan records the verdict.
+type SeamKind string
+
+const (
+	// SeamSameIndex: the crossing stays on one shard because core[i],
+	// cache[i] and bank[i] of the same index are co-scheduled. The body
+	// may only write its own instance's state and message payloads.
+	SeamSameIndex SeamKind = "same-index"
+	// SeamBuffered: the crossing is deferred through the interconnect.
+	// The body may only write message payloads and enqueue into mesh
+	// state; the write lands on the peer shard at the next epoch.
+	SeamBuffered SeamKind = "buffered"
+	// SeamReduction: the crossing folds into sim-global accumulators
+	// that commute, so per-shard replicas merge at epoch boundaries.
+	// The body may only bump counters (++, +=, |=, ^=), grow or shrink
+	// a free list it owns (x = append(x, ...), x = x[:n]), set a
+	// nil-guarded first-error latch, and write message payloads.
+	SeamReduction SeamKind = "reduction"
+	// SeamInitOnly: the crossing happens during construction or
+	// Restore, never on a visit path. The obligation is reachability:
+	// no //rowlint:entry run loop may reach the seam.
+	SeamInitOnly SeamKind = "init-only"
+	// SeamKindInvalid marks a seam whose directive did not parse; the
+	// directive parser reports it and the shard plan counts it
+	// unproven.
+	SeamKindInvalid SeamKind = ""
+)
+
+// parseSeamKind maps a directive's kind verb to a SeamKind.
+func parseSeamKind(s string) (SeamKind, bool) {
+	switch SeamKind(s) {
+	case SeamSameIndex, SeamBuffered, SeamReduction, SeamInitOnly:
+		return SeamKind(s), true
+	}
+	return SeamKindInvalid, false
+}
+
+// seamKindSpellings lists the legal seam kinds for error text.
+const seamKindSpellings = "same-index, buffered, reduction, init-only"
+
+// seamDecl is one parsed //rowlint:seam declaration: the checkable
+// kind plus the recorded prose reason.
+type seamDecl struct {
+	Kind   SeamKind
+	Reason string
+}
+
+// parseSeamDecl splits a seam directive's argument into kind and
+// reason. Both are mandatory; a bad kind yields SeamKindInvalid with
+// the full text kept as the reason so reports stay informative.
+func parseSeamDecl(arg string) (seamDecl, bool) {
+	kindWord, reason, _ := strings.Cut(arg, " ")
+	kind, ok := parseSeamKind(kindWord)
+	reason = strings.TrimSpace(reason)
+	if !ok || reason == "" {
+		return seamDecl{Kind: SeamKindInvalid, Reason: strings.TrimSpace(arg)}, false
+	}
+	return seamDecl{Kind: kind, Reason: reason}, true
+}
+
 // ownership is the per-package shard-ownership annotation table,
 // built lazily and memoized on the Package.
 type ownership struct {
@@ -114,9 +177,9 @@ type ownership struct {
 	// struct fields (overriding the field type's own domain).
 	fieldDomain map[*types.Var]Domain
 	// seams maps functions and interface methods annotated
-	// //rowlint:seam <reason> — declared legal domain crossings — to
-	// their recorded reason.
-	seams map[types.Object]string
+	// //rowlint:seam <kind> <reason> — declared legal domain crossings
+	// — to their parsed declaration.
+	seams map[types.Object]seamDecl
 	// entries lists //rowlint:entry functions: the roots of the
 	// whole-program ownership walk (the run loop's visit paths).
 	entries []*ast.FuncDecl
@@ -131,16 +194,17 @@ func (p *Package) Ownership() *ownership {
 	o := &ownership{
 		typeDomain:  make(map[*types.TypeName]Domain),
 		fieldDomain: make(map[*types.Var]Domain),
-		seams:       make(map[types.Object]string),
+		seams:       make(map[types.Object]seamDecl),
 	}
 	p.own = o
 	for _, f := range p.Files {
 		for _, decl := range f.Decls {
 			switch d := decl.(type) {
 			case *ast.FuncDecl:
-				if reason, ok := markerArg(d.Doc, seamMarker); ok {
+				if arg, ok := markerArg(d.Doc, seamMarker); ok {
 					if obj := p.defObj(d.Name); obj != nil {
-						o.seams[obj] = reason
+						sd, _ := parseSeamDecl(arg)
+						o.seams[obj] = sd
 					}
 				}
 				if _, ok := markerArg(d.Doc, entryMarker); ok {
@@ -191,16 +255,17 @@ func (o *ownership) collectGenDecl(p *Package, d *ast.GenDecl) {
 			}
 		case *ast.InterfaceType:
 			for _, m := range t.Methods.List {
-				reason, ok := markerArg(m.Doc, seamMarker)
+				arg, ok := markerArg(m.Doc, seamMarker)
 				if !ok {
-					reason, ok = markerArg(m.Comment, seamMarker)
+					arg, ok = markerArg(m.Comment, seamMarker)
 				}
 				if !ok {
 					continue
 				}
+				sd, _ := parseSeamDecl(arg)
 				for _, name := range m.Names {
 					if fn := p.defObj(name); fn != nil {
-						o.seams[fn] = reason
+						o.seams[fn] = sd
 					}
 				}
 			}
@@ -316,14 +381,14 @@ func (r resolver) fieldDomain(f *types.Var) Domain {
 	return DomainNone
 }
 
-// seamReason returns the //rowlint:seam reason on a function or
-// interface method ("", false when not a seam).
-func (r resolver) seamReason(fn types.Object) (string, bool) {
+// seamFor returns the //rowlint:seam declaration on a function or
+// interface method (zero, false when not a seam).
+func (r resolver) seamFor(fn types.Object) (seamDecl, bool) {
 	if dp := r.pkgFor(fn); dp != nil {
-		reason, ok := dp.Ownership().seams[fn]
-		return reason, ok
+		sd, ok := dp.Ownership().seams[fn]
+		return sd, ok
 	}
-	return "", false
+	return seamDecl{}, false
 }
 
 // componentPointer reports whether t is a pointer to a named type

@@ -47,6 +47,11 @@ type Package struct {
 	own *ownership
 	// decls memoizes FuncDecls().
 	decls map[*types.Func]*ast.FuncDecl
+	// epoch memoizes epochFindings(); epochAt records the loader
+	// package-set size it was computed at (reachability and interface
+	// fan-out can change as more packages load).
+	epoch   []epochFinding
+	epochAt int
 }
 
 // TypeOf returns the static type of an expression, or nil when type
@@ -88,6 +93,16 @@ type Loader struct {
 
 	// readonlyMemo caches methodReadOnly results across packages.
 	readonlyMemo map[*types.Func]bool
+
+	// implMemo caches interface-method → implementations resolution;
+	// implMemoPkgs records the package-set size it was computed at, so
+	// loading more packages (which can add implementations)
+	// invalidates it. reachMemo/reachMemoPkgs memoize the entry-roots
+	// reachability set the same way (see reachableFromEntries).
+	implMemo      map[*types.Func][]*types.Func
+	implMemoPkgs  int
+	reachMemo     map[*types.Func]bool
+	reachMemoPkgs int
 }
 
 // NewLoader builds a loader for the module rooted at modRoot.

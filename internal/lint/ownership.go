@@ -13,14 +13,15 @@ import (
 // whole-program walk: state in domain To touched from code executing
 // in domain From, through one named target.
 type OwnershipEdge struct {
-	From   string   `json:"from"`
-	To     string   `json:"to"`
-	Kind   string   `json:"kind"` // call | write | alias | read
-	Target string   `json:"target"`
-	Class  string   `json:"class"` // mesh-mediated | seam | scheduler | read-only | message | suppressed | unclassified
-	Reason string   `json:"reason,omitempty"`
-	Count  int      `json:"count"`
-	Sites  []string `json:"sites"` // up to maxEdgeSites file:line samples
+	From     string   `json:"from"`
+	To       string   `json:"to"`
+	Kind     string   `json:"kind"` // call | write | alias | read
+	Target   string   `json:"target"`
+	Class    string   `json:"class"`               // mesh-mediated | seam | scheduler | read-only | message | suppressed | unclassified
+	SeamKind string   `json:"seam_kind,omitempty"` // same-index | buffered | reduction | init-only (seam edges)
+	Reason   string   `json:"reason,omitempty"`
+	Count    int      `json:"count"`
+	Sites    []string `json:"sites"` // up to maxEdgeSites file:line samples
 }
 
 const maxEdgeSites = 3
@@ -175,7 +176,7 @@ func (w *ownWalker) record(pkg *Package, ctx Domain, acc access) {
 			}
 		}
 		if cc.name != classInternal {
-			w.add(ctx, cc.to, "call", acc.desc, cc.name, cc.reason, pkg, acc)
+			w.add(ctx, cc.to, "call", acc.desc, cc.name, cc.reason, string(cc.kind), pkg, acc)
 		}
 		w.descend(pkg, ctx, acc, cc)
 	case accWrite, accAlias:
@@ -192,12 +193,12 @@ func (w *ownWalker) record(pkg *Package, ctx Domain, acc access) {
 		case acc.kind == accAlias && ctx == DomainSimGlobal:
 			// The driver wiring components together at construction and
 			// visit time is the scheduler's job.
-			w.add(ctx, pl.domain, kind, acc.desc, classScheduler, "", pkg, acc)
+			w.add(ctx, pl.domain, kind, acc.desc, classScheduler, "", "", pkg, acc)
 			return
 		case acc.kind == accAlias && pl.domain == DomainReadonly:
 			// Holding a reference to immutable configuration is how
 			// components read it; the alias cannot leak mutable state.
-			w.add(ctx, pl.domain, kind, acc.desc, classReadOnly, "", pkg, acc)
+			w.add(ctx, pl.domain, kind, acc.desc, classReadOnly, "", "", pkg, acc)
 			return
 		}
 		class, reason := classUnclassified, ""
@@ -209,14 +210,14 @@ func (w *ownWalker) record(pkg *Package, ctx Domain, acc access) {
 				class, reason = classSuppressed, r
 			}
 		}
-		w.add(ctx, pl.domain, kind, acc.desc, class, reason, pkg, acc)
+		w.add(ctx, pl.domain, kind, acc.desc, class, reason, "", pkg, acc)
 	case accRead:
 		pl := acc.target
 		class := classReadOnly
 		if ctx == DomainSimGlobal {
 			class = classScheduler
 		}
-		w.add(ctx, pl.domain, "read", acc.desc, class, "", pkg, acc)
+		w.add(ctx, pl.domain, "read", acc.desc, class, "", "", pkg, acc)
 	}
 }
 
@@ -265,19 +266,35 @@ func (w *ownWalker) descend(pkg *Package, ctx Domain, acc access, cc callClass) 
 // cache's core-side Client, the coherence Network) fan out to the real
 // component code.
 func (w *ownWalker) implementations(ifaceFn *types.Func) []*types.Func {
+	return w.loader.implementations(ifaceFn)
+}
+
+// implementations resolves an interface method to every concrete
+// method implementing it across the loaded module, memoized per
+// loaded-package-set size (loading another package can add
+// implementations, so the memo invalidates as the set grows).
+func (l *Loader) implementations(ifaceFn *types.Func) []*types.Func {
+	if l.implMemo == nil || l.implMemoPkgs != len(l.pkgs) {
+		l.implMemo = make(map[*types.Func][]*types.Func)
+		l.implMemoPkgs = len(l.pkgs)
+	}
+	if out, ok := l.implMemo[ifaceFn]; ok {
+		return out
+	}
+	var out []*types.Func
 	sig := ifaceFn.Type().(*types.Signature)
 	iface, ok := sig.Recv().Type().Underlying().(*types.Interface)
 	if !ok {
+		l.implMemo[ifaceFn] = nil
 		return nil
 	}
-	var out []*types.Func
 	var paths []string
-	for path := range w.loader.pkgs {
+	for path := range l.pkgs {
 		paths = append(paths, path)
 	}
 	sort.Strings(paths)
 	for _, path := range paths {
-		p := w.loader.pkgs[path]
+		p := l.pkgs[path]
 		if p.Types == nil {
 			continue
 		}
@@ -303,6 +320,7 @@ func (w *ownWalker) implementations(ifaceFn *types.Func) []*types.Func {
 			}
 		}
 	}
+	l.implMemo[ifaceFn] = out
 	return out
 }
 
@@ -321,17 +339,18 @@ func (w *ownWalker) suppressed(pkg *Package, acc access) (string, bool) {
 	return "", false
 }
 
-func (w *ownWalker) add(from, to Domain, kind, target, class, reason string, pkg *Package, acc access) {
+func (w *ownWalker) add(from, to Domain, kind, target, class, reason, seamKind string, pkg *Package, acc access) {
 	key := from.Render() + "\x00" + to.Render() + "\x00" + kind + "\x00" + target + "\x00" + class
 	e := w.edges[key]
 	if e == nil {
 		e = &OwnershipEdge{
-			From:   from.Render(),
-			To:     to.Render(),
-			Kind:   kind,
-			Target: target,
-			Class:  class,
-			Reason: reason,
+			From:     from.Render(),
+			To:       to.Render(),
+			Kind:     kind,
+			Target:   target,
+			Class:    class,
+			SeamKind: seamKind,
+			Reason:   reason,
 		}
 		w.edges[key] = e
 	}

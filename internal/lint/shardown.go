@@ -82,6 +82,12 @@ type access struct {
 
 	callee   *types.Func // resolved callee (calls only)
 	calleeTo place       // callee receiver's place (calls only)
+
+	// lhs/stmt carry the written expression and its enclosing
+	// assignment (writes only), so the epochsafe reduction check can
+	// prove a store commutative (x++, x += v, x = append(x, ...)).
+	lhs  ast.Expr
+	stmt ast.Node
 }
 
 // walkAccesses walks a function body executing in domain ctx and
@@ -99,12 +105,12 @@ func walkAccesses(pkg *Package, ctx Domain, body ast.Node, visit func(access)) {
 			for _, lhs := range n.Lhs {
 				written[lhs] = true
 				pl := containerPlace(pkg, ctx, lhs)
-				visit(access{pos: lhs.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, lhs)})
+				visit(access{pos: lhs.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, lhs), lhs: lhs, stmt: n})
 			}
 		case *ast.IncDecStmt:
 			written[n.X] = true
 			pl := containerPlace(pkg, ctx, n.X)
-			visit(access{pos: n.X.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, n.X)})
+			visit(access{pos: n.X.Pos(), kind: accWrite, target: pl, desc: renderTarget(pkg, n.X), lhs: n.X, stmt: n})
 		case *ast.UnaryExpr:
 			if n.Op != token.AND {
 				return true
@@ -214,7 +220,8 @@ const (
 type callClass struct {
 	name   string
 	to     Domain
-	reason string // seam reason when name == classSeam
+	kind   SeamKind // seam kind when name == classSeam
+	reason string   // seam reason when name == classSeam
 }
 
 // classifyCall decides how a resolvable call from ctx crosses domains.
@@ -241,8 +248,8 @@ func classifyCall(pkg *Package, ctx Domain, acc access) callClass {
 	if to == DomainMesh {
 		return callClass{name: classMesh, to: to}
 	}
-	if reason, ok := r.seamReason(fn); ok {
-		return callClass{name: classSeam, to: to, reason: reason}
+	if sd, ok := r.seamFor(fn); ok {
+		return callClass{name: classSeam, to: to, kind: sd.Kind, reason: sd.Reason}
 	}
 	if ctx == DomainSimGlobal {
 		return callClass{name: classScheduler, to: to}

@@ -78,9 +78,18 @@ func parseDirectives(pkg *Package) (directiveSet, []Finding) {
 					}
 					continue // ownership annotation, consumed by Ownership()
 				}
-				if reason, ok := markerText(text, seamMarker); ok {
-					if reason == "" {
-						report(c.Pos(), "//rowlint:seam is missing the mandatory reason")
+				if arg, ok := markerText(text, seamMarker); ok {
+					if arg == "" {
+						report(c.Pos(), "//rowlint:seam is missing the mandatory kind ("+seamKindSpellings+") and reason")
+						continue
+					}
+					if _, ok := parseSeamDecl(arg); !ok {
+						kindWord, reason, _ := strings.Cut(arg, " ")
+						if _, valid := parseSeamKind(kindWord); !valid {
+							report(c.Pos(), "//rowlint:seam "+kindWord+" is not a checkable seam kind (want one of "+seamKindSpellings+"), followed by the mandatory reason")
+						} else if strings.TrimSpace(reason) == "" {
+							report(c.Pos(), "//rowlint:seam "+kindWord+" is missing the mandatory reason")
+						}
 					}
 					continue // seam declaration, consumed by Ownership()
 				}

@@ -1,0 +1,21 @@
+// Package config is the epochsafe fixture's readonly domain: run
+// parameters that must be frozen before the first cycle. The package
+// name puts its types in the readonly domain (DomainOfPackage), the
+// same way the real config package scores.
+package config
+
+// Config carries the fixture's run parameters.
+type Config struct {
+	Cores  int
+	Warmed bool
+}
+
+// New constructs a Config. The field writes here are legal: New is
+// unreachable from the //rowlint:entry run loops, so the init-only
+// pass exempts construction by reachability, not by annotation.
+func New(cores int) *Config {
+	c := &Config{}
+	c.Cores = cores
+	c.Warmed = false
+	return c
+}
